@@ -1,0 +1,129 @@
+"""Ablation A6 — GridFTP vs DODS-style HTTP vs the layered gateway.
+
+Quantifies the paper's qualitative claims:
+
+- §8 on DODS: "not well-suited to HPC applications or very large data
+  movement over high-bandwidth wide-area networks" (one TCP stream,
+  default buffers);
+- §6.1 on the gateway: "performance suffered due to costly translations
+  between the layered client and storage system-specific client
+  libraries and protocols";
+- and the complementary strength of DODS: server-side subsetting makes
+  *small extractions* cheap, which is why ESG-II planned to adopt it.
+"""
+
+from repro.baselines import DodsClient, DodsServer, GatewayClient, \
+    StorageAdapter
+from repro.data import ClimateModelRun, GridSpec
+from repro.gridftp import GridFtpConfig
+from repro.net import MB, mbps, to_mbps
+
+from tests.gridftp.conftest import Grid
+
+from benchmarks.conftest import record, run_once
+
+BULK = 256 * MB
+
+
+def build_world():
+    grid = Grid(seed=41, wan=mbps(622), latency=0.025)
+    grid.server_fs.create("bulk.dat", BULK)
+    dods_server = DodsServer(grid.env, grid.server_host, grid.server_fs,
+                             "srv.lbl.gov")
+    dods = DodsClient(grid.env, grid.transport,
+                      {"srv.lbl.gov": dods_server})
+    gateway = GatewayClient(grid.env, grid.transport)
+    gateway.register_adapter("srv.lbl.gov",
+                             StorageAdapter("hpss", block_bytes=4 * MB,
+                                            translate_cost=0.03))
+    return grid, dods, gateway
+
+
+def test_a6_bulk_transfer_comparison(benchmark, show):
+    def run():
+        results = {}
+        # GridFTP: 4 streams, negotiated buffers.
+        grid, dods, gateway = build_world()
+        cfg = GridFtpConfig(parallelism=4, buffer_bytes=2 * MB)
+
+        def gridftp_main():
+            session = yield from grid.client.connect(
+                grid.client_host, "srv.lbl.gov", cfg)
+            t0 = grid.env.now
+            yield from session.get("bulk.dat", grid.client_fs,
+                                   grid.client_host, config=cfg)
+            return BULK / (grid.env.now - t0)
+
+        results["gridftp"] = grid.run_process(gridftp_main())
+
+        grid, dods, gateway = build_world()
+
+        def dods_main():
+            nbytes, secs, _ = yield from dods.open_url(
+                grid.client_host, "srv.lbl.gov", "bulk.dat",
+                grid.client_fs)
+            return nbytes / secs
+
+        results["dods"] = grid.run_process(dods_main())
+
+        grid, dods, gateway = build_world()
+
+        def gateway_main():
+            nbytes, secs = yield from gateway.get(
+                grid.client_host, grid.server_host, "srv.lbl.gov",
+                grid.server_fs, "bulk.dat", grid.client_fs)
+            return nbytes / secs
+
+        results["gateway"] = grid.run_process(gateway_main())
+        return results
+
+    rates = run_once(benchmark, run)
+    show()
+    show(f"=== A6: {BULK // MB} MiB bulk WAN transfer (50 ms RTT) ===")
+    for name, r in sorted(rates.items(), key=lambda kv: -kv[1]):
+        show(f"  {name:<8} {to_mbps(r):7.1f} Mb/s "
+             + "#" * int(to_mbps(r) / 10))
+    record(benchmark, rates_mbps={k: round(to_mbps(v), 1)
+                                  for k, v in rates.items()})
+
+    # GridFTP dominates bulk movement, by a wide margin.
+    assert rates["gridftp"] > 3 * rates["dods"]
+    assert rates["gridftp"] > 3 * rates["gateway"]
+
+
+def test_a6_small_subset_favors_server_side_processing(benchmark, show):
+    """The flip side: for a small extraction, shipping the subset
+    (DODS filters / GridFTP ERET) beats shipping the file."""
+    def run():
+        grid, dods, gateway = build_world()
+        run_data = ClimateModelRun(grid=GridSpec(64, 128, 12))
+        blob = run_data.encode_year(1995)
+        grid.server_fs.create("year.nc", len(blob), content=blob)
+
+        def whole():
+            _, secs, _ = yield from dods.open_url(
+                grid.client_host, "srv.lbl.gov", "year.nc",
+                grid.client_fs)
+            return secs
+
+        t_whole = grid.run_process(whole())
+
+        def subset():
+            _, secs, _ = yield from dods.open_url(
+                grid.client_host, "srv.lbl.gov", "year.nc",
+                grid.client_fs, variable="tas", lat=(-10.0, 10.0))
+            return secs
+
+        t_subset = grid.run_process(subset())
+        return len(blob), t_whole, t_subset
+
+    size, t_whole, t_subset = run_once(benchmark, run)
+    show()
+    show(f"=== A6b: fetch whole {size / MB:.1f} MiB file vs "
+         f"server-side subset ===")
+    show(f"  whole file : {t_whole:6.2f} s")
+    show(f"  subset     : {t_subset:6.2f} s "
+         f"({t_whole / t_subset:.1f}x faster)")
+    record(benchmark, whole_s=round(t_whole, 2),
+           subset_s=round(t_subset, 2))
+    assert t_subset < t_whole / 2

@@ -1,0 +1,71 @@
+"""Ablation A2 — TCP buffer sizing against the bandwidth–delay product.
+
+§7: "Proper TCP buffer sizes are critical to obtaining good performance
+in TCP wide area links. The appropriate size is determined by
+calculating the bandwidth-delay product... We chose 1 MB as a
+reasonable buffer size for our transfers" (for ~200-500 Mb/s at
+10-20 ms). The bench sweeps SBUF on that exact path profile and also
+checks the automatic (BDP) negotiation.
+"""
+
+from repro.gridftp import GridFtpConfig
+from repro.net import MB, bdp_buffer_size, mbps, to_mbps
+
+from tests.gridftp.conftest import Grid
+
+from benchmarks.conftest import record, run_once
+
+SIZE = 256 * MB
+# The paper's path profile: up to ~500 Mb/s, 10-20 ms RTT.
+WAN = mbps(500)
+ONE_WAY = 0.008
+
+
+def rate_with_buffer(buffer_bytes):
+    grid = Grid(seed=7, wan=WAN, latency=ONE_WAY)
+    grid.server_fs.create("f.dat", SIZE)
+    cfg = GridFtpConfig(parallelism=1, buffer_bytes=buffer_bytes)
+
+    def main():
+        session = yield from grid.client.connect(grid.client_host,
+                                                 "srv.lbl.gov", cfg)
+        t0 = grid.env.now
+        yield from session.get("f.dat", grid.client_fs,
+                               grid.client_host, config=cfg)
+        return SIZE / (grid.env.now - t0)
+
+    return grid.run_process(main())
+
+
+def test_a2_buffer_size_sweep(benchmark, show):
+    buffers = [16 * 1024, 64 * 1024, 256 * 1024, 1 * MB, 4 * MB]
+
+    def run():
+        swept = {b: rate_with_buffer(b) for b in buffers}
+        auto = rate_with_buffer(None)  # BDP negotiation
+        return swept, auto
+
+    swept, auto = run_once(benchmark, run)
+    rtt = 2 * ONE_WAY + 2e-4  # + uplink hops
+    bdp = bdp_buffer_size(WAN, rtt)
+    show()
+    show(f"=== A2: SBUF sweep (path BDP ≈ {bdp / 1024:.0f} KB) ===")
+    for b, r in swept.items():
+        label = f"{b / 1024:.0f} KB"
+        show(f"  {label:>8}: {to_mbps(r):7.1f} Mb/s "
+             + "#" * int(to_mbps(r) / 12))
+    show(f"  auto(BDP): {to_mbps(auto):7.1f} Mb/s")
+    record(benchmark, bdp_kb=round(bdp / 1024),
+           rates_mbps={f"{b//1024}KB": round(to_mbps(r), 1)
+                       for b, r in swept.items()},
+           auto_mbps=round(to_mbps(auto), 1))
+
+    # Undersized buffers throttle hard: window/RTT.
+    expected_64k = 64 * 1024 / rtt
+    assert swept[64 * 1024] <= expected_64k * 1.05
+    # "Dramatically improve": 1 MB ≈ BDP beats 64 KB by a large factor.
+    assert swept[1 * MB] > 5 * swept[64 * 1024]
+    # Beyond the BDP there is nothing left to gain.
+    assert swept[4 * MB] < swept[1 * MB] * 1.15
+    # Auto-negotiation lands at the well-sized rate.
+    assert auto > 0.9 * swept[1 * MB]

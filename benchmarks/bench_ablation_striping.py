@@ -1,0 +1,80 @@
+"""Ablation A3 — striping across hosts scales aggregate bandwidth.
+
+§6.1: "Striped data transfer that increases parallelism by allowing data
+to be striped across multiple hosts." Per-host ceilings (CPU interrupt
+load, NIC) bound a single server; striping multiplies them until the
+shared WAN binds. The bench sweeps stripe counts on a SciNET-like path.
+"""
+
+from repro.gridftp import GridFtpServer, StripedServer
+from repro.gsi.credentials import Identity
+from repro.hosts import CpuModel, DiskArray, DiskSpec, Host, HostSpec
+from repro.net import GB, gbps, to_mbps
+from repro.storage import FileSystem
+
+from tests.gridftp.conftest import Grid
+
+from benchmarks.conftest import record, run_once
+
+SIZE = 1 * GB
+
+
+def striped_rate(n_stripes: int) -> float:
+    grid = Grid(seed=23, wan=gbps(2.5), latency=0.007)
+    # Strong receiver so the *source side* is what we sweep.
+    grid.client_host.spec.cpu = CpuModel(copy_cost_per_byte=5e-10,
+                                         interrupt_cost=1e-6)
+    grid.client_host.set_coalescing(32)
+    for l in ("nic:in", "uplink:in", "uplink:out", "disk:in"):
+        grid.client_host.links[l].restore(gbps(5))
+        grid.client_host.links[l].nominal_capacity = gbps(5)
+    # Era source workstations: CPU-capped near 200 Mb/s each.
+    spec = HostSpec(nic_rate=gbps(1), bus_rate=None,
+                    cpu=CpuModel(copy_cost_per_byte=3.3e-8,
+                                 interrupt_cost=25e-6, coalesce=2),
+                    disk=DiskArray(DiskSpec(rate=30 * 2**20), count=4))
+    backends = []
+    for i in range(n_stripes):
+        host = Host(grid.topo, f"stripe{i}", site="lbnl", spec=spec)
+        host.uplink("r-lbnl")
+        hostname = f"stripe{i}.lbl.gov"
+        grid.ns.register(hostname, host.node)
+        fs = FileSystem(grid.env, f"s{i}-fs")
+        server = GridFtpServer(grid.env, host, fs, gsi=grid.gsi,
+                               credential_chain=grid.server.credential_chain,
+                               hostname=hostname)
+        grid.registry[hostname] = server
+        backends.append(server)
+    striped = StripedServer("striped.lbl.gov", backends)
+    striped.partition_file("big.dat", SIZE)
+
+    def main():
+        t0 = grid.env.now
+        result = yield from striped.striped_get(
+            grid.client, grid.client_host, "big.dat", grid.client_fs)
+        return result.total_bytes / (grid.env.now - t0)
+
+    return grid.run_process(main())
+
+
+def test_a3_striping_sweep(benchmark, show):
+    def run():
+        return {n: striped_rate(n) for n in (1, 2, 4, 8)}
+
+    rates = run_once(benchmark, run)
+    show()
+    show("=== A3: stripes vs aggregate bandwidth ===")
+    for n, r in rates.items():
+        show(f"  {n} stripe(s): {to_mbps(r):7.1f} Mb/s "
+             + "#" * int(to_mbps(r) / 40))
+    record(benchmark, rates_mbps={n: round(to_mbps(r), 1)
+                                  for n, r in rates.items()})
+
+    # Near-linear early scaling past the per-host ceiling...
+    assert rates[2] > 1.7 * rates[1]
+    assert rates[4] > 3.0 * rates[1]
+    # ...total never exceeding the per-host ceiling × stripes or the WAN.
+    per_host_ceiling = rates[1] * 1.1
+    for n, r in rates.items():
+        assert r <= per_host_ceiling * n
+    assert rates[8] <= gbps(2.5)

@@ -1,0 +1,72 @@
+"""Extension bench — the §9 ESG-II features, quantified.
+
+Future-work items the paper names, implemented and measured:
+
+1. server-side extraction/subsetting ("similar to those available with
+   DODS ... performed local to the data before it is transferred");
+2. lightweight-client access (the portal never moves whole files);
+3. DODS-protocol access to the same archive.
+
+The bench compares wire bytes and latency for the heavyweight path
+(fetch whole files, subset locally) vs the portal path (subset at the
+replica), and verifies the products agree exactly.
+"""
+
+import numpy as np
+
+from repro.data import GridSpec
+from repro.scenarios import EsgTestbed
+
+from benchmarks.conftest import record, run_once
+
+
+def test_esg2_portal_vs_heavyweight(benchmark, show):
+    def run():
+        tb = EsgTestbed(seed=14, materialize=True,
+                        grid=GridSpec(nlat=48, nlon=96, months=12))
+        tb.warm_nws(90.0)
+        ds_id = "pcmdi.ncar_csm.run1"
+
+        def portal_path():
+            t0 = tb.env.now
+            resp = yield from tb.portal.request(
+                ds_id, "tas", operation="subset", months=(1, 6),
+                lat=(-20.0, 20.0))
+            return resp, tb.env.now - t0
+
+        resp, portal_secs = tb.run_process(portal_path())
+
+        def heavy_path():
+            t0 = tb.env.now
+            result = yield from tb.cdat.fetch(ds_id, "tas",
+                                              months=(1, 6))
+            return result, tb.env.now - t0
+
+        heavy, heavy_secs = tb.run_process(heavy_path())
+        heavy_bytes = sum(tb.client_fs.stat(n).size
+                          for n in heavy.logical_files)
+        local = heavy.dataset.subset("tas", lat=(-20.0, 20.0))
+        agree = np.allclose(resp.dataset["tas"].data,
+                            local["tas"].data)
+        return resp, portal_secs, heavy_bytes, heavy_secs, agree
+
+    resp, portal_secs, heavy_bytes, heavy_secs, agree = run_once(
+        benchmark, run)
+    show()
+    show("=== ESG-II: subset at the data vs fetch-then-subset ===")
+    show(f"  portal : {resp.bytes_shipped / 2**20:6.2f} MiB shipped, "
+         f"{portal_secs:5.1f} s")
+    show(f"  heavy  : {heavy_bytes / 2**20:6.2f} MiB shipped, "
+         f"{heavy_secs:5.1f} s")
+    show(f"  wire reduction {heavy_bytes / resp.bytes_shipped:.1f}x; "
+         f"products agree: {agree}")
+    record(benchmark,
+           portal_mib=round(resp.bytes_shipped / 2**20, 2),
+           heavy_mib=round(heavy_bytes / 2**20, 2),
+           wire_reduction=round(heavy_bytes / resp.bytes_shipped, 1),
+           portal_s=round(portal_secs, 1),
+           heavy_s=round(heavy_secs, 1))
+
+    assert agree
+    assert resp.bytes_shipped < heavy_bytes / 3
+    assert portal_secs < heavy_secs

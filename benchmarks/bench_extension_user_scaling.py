@@ -1,0 +1,70 @@
+"""Extension bench — community-scale access (the abstract's premise).
+
+"A new class of Data Grid infrastructure is required to support
+management, transport, distributed access to, and analysis of these
+datasets by potentially thousands of users." The bench attaches growing
+fleets of independent user sites, each running the same multi-file
+request concurrently, and reports per-user makespan, aggregate
+delivered bandwidth, and catalog/MDS load — showing that the shared
+services scale gracefully while per-user performance degrades only once
+the *servers'* capacity saturates (the replication story's motivation).
+"""
+
+from repro.scenarios import EsgTestbed
+
+from benchmarks.conftest import record, run_once
+
+FILES_PER_USER = 3
+SIZE = 24 * 2**20
+
+
+def fleet_run(n_users: int):
+    tb = EsgTestbed(seed=31, file_size_override=SIZE)
+    tb.warm_nws(90.0)
+    rms = [tb.add_client(f"user{i}") for i in range(n_users)]
+    ds = tb.dataset_ids()[0]
+    names = tb.metadata_catalog.resolve(ds, "tas")[:FILES_PER_USER]
+    ops_before = tb.replica_catalog.directory.operations
+    t0 = tb.env.now
+    tickets = [rm.submit([(ds, n) for n in names]) for rm in rms]
+    for t in tickets:
+        tb.env.run(until=t.done)
+    assert all(not t.failed_files for t in tickets)
+    makespans = [max(f.finished_at for f in t.files) - t.submitted_at
+                 for t in tickets]
+    total_bytes = sum(t.bytes_done for t in tickets)
+    wall = tb.env.now - t0
+    return {
+        "mean_makespan": sum(makespans) / len(makespans),
+        "worst_makespan": max(makespans),
+        "aggregate_mbps": total_bytes / wall * 8 / 1e6,
+        "catalog_ops": tb.replica_catalog.directory.operations
+        - ops_before,
+    }
+
+
+def test_user_scaling(benchmark, show):
+    def run():
+        return {n: fleet_run(n) for n in (1, 4, 12)}
+
+    results = run_once(benchmark, run)
+    show()
+    show(f"=== User scaling: {FILES_PER_USER} x {SIZE // 2**20} MiB "
+         f"per user ===")
+    show(f"  {'users':>6} {'mean(s)':>9} {'worst(s)':>9} "
+         f"{'agg Mb/s':>9} {'catalog ops':>12}")
+    for n, r in results.items():
+        show(f"  {n:>6} {r['mean_makespan']:>9.1f} "
+             f"{r['worst_makespan']:>9.1f} {r['aggregate_mbps']:>9.1f} "
+             f"{r['catalog_ops']:>12}")
+    record(benchmark, results={
+        n: {k: round(v, 1) for k, v in r.items()}
+        for n, r in results.items()})
+
+    # Catalog load scales linearly with users (one lookup per file)...
+    assert results[12]["catalog_ops"] >= 10 * results[1]["catalog_ops"]
+    # ...aggregate delivered bandwidth grows with the fleet...
+    assert results[4]["aggregate_mbps"] > 2 * results[1]["aggregate_mbps"]
+    assert results[12]["aggregate_mbps"] > results[4]["aggregate_mbps"]
+    # ...and per-user latency degrades sublinearly (replicas spread load).
+    assert results[12]["mean_makespan"] < 6 * results[1]["mean_makespan"]

@@ -1,0 +1,55 @@
+"""Figure 4 — dynamic monitoring of concurrent file transfers.
+
+The screenshot shows per-file progress bars, the replica locations
+chosen "based on the bandwidth and latency measurements provided by
+NWS", and initiation messages, updating every few seconds, plus the
+total bytes across all requests. The bench runs a 10-file concurrent
+request drawn from several sites and validates the monitor's panes and
+the multi-site concurrency claim ("the ability to transfer multiple
+files from various sites concurrently can enhance the aggregate
+transfer rate").
+"""
+
+from repro.rm import TransferMonitor
+from repro.scenarios import EsgTestbed
+
+from benchmarks.conftest import record, run_once
+
+
+def test_figure4_transfer_monitor(benchmark, show):
+    def run():
+        tb = EsgTestbed(seed=17, file_size_override=24 * 2**20)
+        tb.warm_nws(90.0)
+        ds = tb.dataset_ids()[0]
+        names = tb.metadata_catalog.resolve(ds, "tas")[:10]
+        ticket = tb.request_manager.submit([(ds, n) for n in names])
+        monitor = TransferMonitor(tb.env, tb.request_manager, ticket,
+                                  period=3.0)
+        tb.env.process(monitor.run())
+        # Snapshot mid-flight for the rendering.
+        tb.env.run(until=tb.env.now + 12.0)
+        mid_render = monitor.render()
+        tb.env.run(until=ticket.done)
+        return tb, ticket, monitor, mid_render
+
+    tb, ticket, monitor, mid_render = run_once(benchmark, run)
+    show()
+    show("=== Figure 4 (mid-transfer snapshot) ===")
+    show(mid_render)
+    sites = {f.chosen_location for f in ticket.files}
+    rates = monitor.aggregate_rate_series()
+    record(benchmark, files=len(ticket.files),
+           distinct_source_sites=len(sites),
+           snapshots=len(monitor.snapshots),
+           peak_aggregate_mbps=round(
+               max(r for _, r in rates) * 8 / 1e6, 1))
+
+    assert ticket.complete and not ticket.failed_files
+    # Concurrency from multiple sites (the figure's middle pane).
+    assert len(sites) >= 3
+    # The monitor polled "every few seconds" and saw partial progress.
+    assert len(monitor.snapshots) >= 4
+    partial = [b for _, b in monitor.snapshots
+               if 0 < b < ticket.total_bytes]
+    assert partial
+    assert "TOTAL transferred" in mid_render

@@ -1,0 +1,46 @@
+"""Figure 5 — the Data Grid reference architecture layers.
+
+The figure's claim is structural: fabric / connectivity / resource /
+collective / application, each layer building only on those below. The
+bench registers the full prototype in the layer registry, verifies the
+no-upward-dependency invariant across the real component graph, and
+resolves a request down through the layers.
+"""
+
+from repro.esg import LAYERS, EarthSystemGrid
+
+from benchmarks.conftest import record, run_once
+
+
+def test_figure5_layered_architecture(benchmark, show):
+    def run():
+        esg = EarthSystemGrid.demo_testbed(seed=9, materialize=False)
+        arch = esg.layers
+        violations = arch.check_dependencies()
+        return esg, arch, violations
+
+    esg, arch, violations = run_once(benchmark, run)
+    show()
+    show("=== Figure 5: layer inventory ===")
+    for layer in LAYERS:
+        show(f"  {layer:<13} {', '.join(arch.names(layer))}")
+    show(f"  dependency edges checked: {len(arch.dependencies)}; "
+         f"violations: {len(violations)}")
+    record(benchmark,
+           components=sum(len(v) for v in arch.components.values()),
+           edges=len(arch.dependencies),
+           violations=len(violations))
+
+    assert violations == []
+    # The figure's placements hold in the implementation:
+    assert arch.layer_of("gridftp") == "resource"
+    assert arch.layer_of("mds") == "resource"
+    assert arch.layer_of("replica-management") == "collective"
+    assert arch.layer_of("replica-selection") == "collective"
+    assert arch.layer_of("request-manager") == "collective"
+    assert arch.layer_of("metadata-catalog") == "fabric"
+    assert arch.layer_of("gsi") == "connectivity"
+    assert arch.layer_of("cdat") == "application"
+    # Every layer is populated.
+    for layer in LAYERS:
+        assert arch.names(layer)

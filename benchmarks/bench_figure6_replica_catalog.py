@@ -1,0 +1,104 @@
+"""Figure 6 — a replica catalog for a climate modeling application.
+
+The figure's instance: two logical collections (CO2 measurements 1998 /
+1999); the 1998 collection has a *partial* copy on jupiter.isi.edu and a
+*complete* copy on sprite.llnl.gov; location entries carry protocol /
+hostname / port / path and the filename list; per-file logical entries
+(with sizes) are optional — kept optional "to improve catalog
+scalability for large collections", which this bench quantifies.
+"""
+
+from repro.replica import ReplicaCatalog
+from repro.sim import Environment
+
+from benchmarks.conftest import record, run_once
+
+
+def build_figure6():
+    env = Environment(seed=1)
+    rc = ReplicaCatalog(env, name="climate")
+    files = [f"ua.1998.{m:02d}.nc" for m in range(1, 13)]
+    rc.create_collection("CO2 measurements 1998")
+    rc.create_collection("CO2 measurements 1999")
+    rc.register_location("CO2 measurements 1998", "jupiter.isi.edu",
+                         "gsiftp", "jupiter.isi.edu", 2811,
+                         "/nfs/v6/climate", files=files[:6])
+    rc.register_location("CO2 measurements 1998", "sprite.llnl.gov",
+                         "gsiftp", "sprite.llnl.gov", 2811,
+                         "/data/climate", files=files)
+    for f in files:
+        rc.register_logical_file("CO2 measurements 1998", f, 1_200_000)
+    return env, rc, files
+
+
+def test_figure6_replica_catalog(benchmark, show):
+    def run():
+        env, rc, files = build_figure6()
+
+        def queries():
+            early = yield from rc.find_replicas("CO2 measurements 1998",
+                                                "ua.1998.03.nc")
+            late = yield from rc.find_replicas("CO2 measurements 1998",
+                                               "ua.1998.11.nc")
+            return early, late
+
+        p = env.process(queries())
+        env.run(until=p)
+        return env, rc, p.value
+
+    env, rc, (early, late) = run_once(benchmark, run)
+    show()
+    show("=== Figure 6 catalog (reproduced) ===")
+    for coll in rc.collections():
+        show(f"  lc={coll.name}: {coll.location_count} locations, "
+             f"{coll.file_count} files")
+    for loc in rc.locations("CO2 measurements 1998"):
+        show(f"    loc={loc.name} -> "
+             f"{loc.url_for(loc.files[0])} (+{len(loc.files) - 1} more)")
+    show(f"  replicas of ua.1998.03.nc: "
+         f"{[l.name for l in early]}")
+    show(f"  replicas of ua.1998.11.nc: "
+         f"{[l.name for l in late]}")
+    record(benchmark, locations=2,
+           early_replicas=len(early), late_replicas=len(late))
+
+    # The figure's structure: month 3 in both copies, month 11 only in
+    # the complete one.
+    assert {l.name for l in early} == {"jupiter.isi.edu",
+                                       "sprite.llnl.gov"}
+    assert [l.name for l in late] == ["sprite.llnl.gov"]
+    assert rc.logical_file_size("CO2 measurements 1998",
+                                "ua.1998.01.nc") == 1_200_000
+
+
+def test_figure6_logical_entries_scalability(benchmark, show):
+    """Optional logical-file entries: catalog entry count with and
+    without them, at 'large collection' scale."""
+    n_files = 2000
+
+    def run():
+        env = Environment()
+        rc = ReplicaCatalog(env, name="scale")
+        files = [f"f{i:05d}.nc" for i in range(n_files)]
+        rc.create_collection("lean")
+        rc.register_location("lean", "site-a", "gsiftp", "a.gov", 2811,
+                             "/d", files=files)
+        lean = len(rc.directory)
+        rc.create_collection("heavy")
+        rc.register_location("heavy", "site-a", "gsiftp", "a.gov", 2811,
+                             "/d", files=files)
+        for f in files:
+            rc.register_logical_file("heavy", f, 1000)
+        heavy = len(rc.directory) - lean
+        return lean, heavy
+
+    lean, heavy = run_once(benchmark, run)
+    show()
+    show(f"=== Catalog scalability ({n_files} files/collection) ===")
+    show(f"  entries without logical files: {lean}")
+    show(f"  additional entries with them : {heavy}")
+    record(benchmark, n_files=n_files, lean_entries=lean,
+           heavy_extra_entries=heavy)
+    # Without per-file entries the catalog is O(locations), not O(files).
+    assert lean <= 5
+    assert heavy >= n_files

@@ -1,0 +1,76 @@
+"""Infrastructure bench — simulator throughput (not a paper figure).
+
+Regression guard for the two hot paths everything else stands on: the
+event kernel (schedule/fire rate) and the fluid allocator
+(reallocations per second at realistic flow counts). The guides' advice
+("no optimization without measuring") applied to our own substrate: if
+these numbers collapse, every experiment above gets slower.
+"""
+
+from repro.net import FluidNetwork, Topology, mbps
+from repro.sim import Environment
+
+
+def test_kernel_event_throughput(benchmark):
+    """Fire 50k timeout events through the queue."""
+    def run():
+        env = Environment()
+        count = [0]
+
+        def ticker(env, n):
+            for _ in range(n):
+                yield env.timeout(1.0)
+                count[0] += 1
+
+        for _ in range(10):
+            env.process(ticker(env, 5000))
+        env.run()
+        return count[0]
+
+    total = benchmark(run)
+    assert total == 50_000
+
+
+def test_allocator_throughput(benchmark):
+    """Reallocate a 64-flow, 24-link network 500 times."""
+    env = Environment()
+    topo = Topology()
+    for i in range(8):
+        topo.duplex_link(f"h{i}", "core", mbps(1000), 0.001)
+        topo.duplex_link(f"g{i}", "edge", mbps(1000), 0.001)
+    topo.duplex_link("core", "edge", mbps(2500), 0.005)
+    net = FluidNetwork(env, topo)
+    for i in range(64):
+        net.transfer(f"h{i % 8}", f"g{(i * 3) % 8}", 1e15,
+                     cap=mbps(50 + i))
+
+    def run():
+        for _ in range(500):
+            net._assign_rates()
+        return net.reallocations
+
+    benchmark(run)
+    # Feasibility still holds after the hammering.
+    for link in topo.links.values():
+        used = sum(f.rate for f in net.flows_on(link))
+        assert used <= link.capacity * (1 + 1e-6)
+
+
+def test_recorder_analysis_throughput(benchmark):
+    """Windowed-peak analysis over a 100k-breakpoint series."""
+    import numpy as np
+
+    from repro.net import RateSeries
+
+    rng = np.random.default_rng(1)
+    n = 100_000
+    times = np.cumsum(rng.uniform(0.01, 0.2, n))
+    rates = rng.uniform(0, mbps(500), n)
+    series = RateSeries(times, rates, float(times[-1]) + 1.0)
+
+    def run():
+        return (series.peak_windowed(0.1), series.peak_windowed(5.0),
+                series.average())
+
+    peak01, peak5, avg = benchmark(run)
+    assert peak01 >= peak5 >= avg

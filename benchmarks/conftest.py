@@ -1,0 +1,35 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures on the
+simulated testbed and prints the same rows/series the paper reports
+(run with ``-s`` to see them). Absolute agreement with the SC'2000
+testbed is not expected — the *shape* (who wins, by what factor, where
+the crossovers are) is asserted, and paper-vs-measured values are
+attached to ``benchmark.extra_info`` for EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+def record(benchmark, **extra):
+    """Attach paper-vs-measured values to the benchmark record."""
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic simulation exactly once under pytest-benchmark.
+
+    These harnesses measure a *simulation*, so repeated timing rounds add
+    nothing — pedantic single-shot keeps the suite fast while still
+    recording wall-clock per experiment.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def show():
+    """Printer that cooperates with pytest's capture (-s shows output)."""
+    def _show(text=""):
+        print(text)
+    return _show

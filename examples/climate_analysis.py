@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""A climate analyst's session: remote data, local analysis (paper §3).
+
+Fetches a full year of two variables from the distributed archive
+through the request manager, then runs the standard analyses —
+seasonal cycle, area-weighted global means, anomalies — and renders the
+results VCDAT-style.
+
+Run:  python examples/climate_analysis.py
+"""
+
+import numpy as np
+
+from repro.cdat import (
+    global_mean_series,
+    render_field,
+    render_profile,
+    render_timeseries,
+    seasonal_cycle,
+    zonal_mean,
+)
+from repro.data import GridSpec
+from repro.esg import EarthSystemGrid
+from repro.scenarios import EsgTestbed
+
+
+def main() -> None:
+    # A finer grid than the quickstart: bigger files, longer transfers.
+    esg = EarthSystemGrid(EsgTestbed(
+        seed=11, materialize=True,
+        grid=GridSpec(nlat=48, nlon=96, months=12)))
+
+    print("=== Fetching a full year of tas + pr ===")
+    tas_result, _ = esg.fetch_and_analyze("pcmdi.ncar_csm.run1", "tas",
+                                          months=(1, 12))
+    pr_result, _ = esg.fetch_and_analyze("pcmdi.ncar_csm.run1", "pr",
+                                         months=(1, 12), warm_nws=0.0)
+    ds_tas = tas_result.dataset
+    ds_pr = pr_result.dataset
+    print(f"  tas: {ds_tas['tas'].shape}, "
+          f"{ds_tas.nbytes / 2**20:.1f} MiB in memory")
+    print(f"  chosen replicas: "
+          f"{sorted(set(f.chosen_location for f in tas_result.ticket.files))}")
+
+    print("\n=== Seasonal cycle (January vs July zonal means, K) ===")
+    cyc = seasonal_cycle(ds_tas, "tas")
+    lat = ds_tas.coords["lat"]
+    jan, jul = cyc[0].mean(axis=1), cyc[6].mean(axis=1)
+    print(render_profile(jul - jan, lat,
+                         title="July minus January zonal-mean tas (K)"))
+
+    print("\n=== Global mean temperature through the year ===")
+    gm = global_mean_series(ds_tas, "tas")
+    print(render_timeseries(gm, title="area-weighted global mean tas",
+                            units="K", height=8))
+
+    print("\n=== Anomaly magnitude by month ===")
+    from repro.cdat import anomaly
+    an = anomaly(ds_tas, "tas")
+    monthly_rms = np.sqrt((an ** 2).mean(axis=(1, 2)))
+    for m, v in enumerate(monthly_rms, 1):
+        print(f"  month {m:2d}: rms anomaly {v:5.2f} K "
+              + "#" * int(v * 4))
+
+    print("\n=== Precipitation climatology (mm/day) ===")
+    from repro.cdat import time_mean
+    print(render_field(time_mean(ds_pr, "pr"),
+                       title="annual-mean precipitation",
+                       units="mm/day", width=64, height=16))
+    print("\nZonal structure (ITCZ + storm tracks):")
+    print(render_profile(zonal_mean(ds_pr, "pr"), lat,
+                         title="zonal-mean pr (mm/day)"))
+
+
+if __name__ == "__main__":
+    main()

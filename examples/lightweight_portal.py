@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""ESG-II preview: server-side analysis and lightweight clients (§9).
+
+The paper closes with the ESG-II plan: push extraction/subsetting to the
+data, add DODS-protocol access, and serve lightweight clients. All three
+are implemented here, on top of GridFTP's ERET plug-ins:
+
+- the portal subsets/extracts/averages *at the replica* and ships only
+  the product;
+- the same archive answers DODS-style URL requests;
+- the heavyweight path (fetch whole files, analyze locally) is run for
+  comparison, and the two agree bit-for-bit.
+
+Run:  python examples/lightweight_portal.py
+"""
+
+import numpy as np
+
+from repro.cdat import render_field
+from repro.data import GridSpec
+from repro.scenarios import EsgTestbed
+
+
+def main() -> None:
+    tb = EsgTestbed(seed=12, materialize=True,
+                    grid=GridSpec(nlat=32, nlon=64, months=12))
+    tb.warm_nws(90.0)
+    ds_id = "pcmdi.ncar_csm.run1"
+
+    print("=== Portal: tropical-band subset, computed at the server ===")
+
+    def subset():
+        return (yield from tb.portal.request(
+            ds_id, "tas", operation="subset", months=(1, 3),
+            lat=(-23.5, 23.5)))
+
+    resp = tb.run_process(subset())
+    print(f"  shipped {resp.bytes_shipped / 1024:.1f} KB instead of "
+          f"{resp.full_bytes / 1024:.1f} KB "
+          f"({resp.reduction:.1f}x less wire traffic)")
+    print(f"  served by {resp.source_hostname} in {resp.seconds:.2f} s")
+
+    print("\n=== Portal: annual mean computed where the data lives ===")
+
+    def tmean():
+        return (yield from tb.portal.request(
+            ds_id, "tas", operation="time_mean", months=(1, 1)))
+
+    mean_resp = tb.run_process(tmean())
+    print(render_field(mean_resp.dataset["tas"].data,
+                       title="January-mean tas (computed server-side)",
+                       units="K", width=56, height=12))
+
+    print("\n=== Same archive over DODS protocols ===")
+    servers, dods = tb.enable_dods()
+    a_file = sorted(f.name for f in tb.sites["anl"].fs)[0]
+
+    def via_dods():
+        return (yield from dods.open_dataset(
+            tb.client_host, "dods.anl.gov", a_file, "tas",
+            lat=(-23.5, 23.5)))
+
+    dods_ds = tb.run_process(via_dods())
+    print(f"  opened {a_file!r} via dods.anl.gov: "
+          f"tas{dods_ds['tas'].shape}")
+
+    print("\n=== Cross-check: portal product == local analysis ===")
+
+    def heavy():
+        return (yield from tb.cdat.fetch(ds_id, "tas", months=(1, 3)))
+
+    heavy_result = tb.run_process(heavy())
+    local = heavy_result.dataset.subset("tas", lat=(-23.5, 23.5))
+    agree = np.allclose(resp.dataset["tas"].data, local["tas"].data)
+    print(f"  heavyweight fetch moved "
+          f"{sum(tb.client_fs.stat(n).size for n in heavy_result.logical_files) / 1024:.1f} KB; "
+          f"products agree: {agree}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Publishing a new model run into the grid (the intro's workflow).
+
+The introduction's producer side: a climate model emits large files at
+~2 MB/s average; they must be archived (HPSS), catalogued (metadata +
+replica catalogs), and replicated so the community can analyze them.
+This example runs that pipeline on the testbed:
+
+1. the "model" at LLNL writes monthly output files as they complete;
+2. each file is uploaded (GridFTP put) to LBNL-PDSF, where the MSS
+   ingests it — disk cache immediately, tape migration in background;
+3. catalogs are updated; popular months are replicated to two more
+   sites by third-party copies;
+4. a consumer fetches a freshly published month to prove end-to-end
+   freshness.
+
+Run:  python examples/model_run_publication.py
+"""
+
+from repro.data import ClimateModelRun, GridSpec
+from repro.net import to_mbps
+from repro.scenarios import EsgTestbed
+from repro.storage import FileObject
+
+
+def main() -> None:
+    tb = EsgTestbed(seed=15, file_size_override=32 * 2**20)
+    tb.warm_nws(60.0)
+    run = ClimateModelRun(model="CCSM2", run="new-run",
+                          grid=GridSpec(32, 64, 12), start_year=2001)
+    ds_id = run.dataset_id
+    pdsf = tb.sites["lbnl-pdsf"]
+    llnl = tb.sites["llnl"]
+    file_size = 64 * 2**20
+
+    tb.metadata_catalog.register_dataset(ds_id, run.model, run.run,
+                                         description="freshly published")
+    tb.replica_catalog.create_collection(ds_id,
+                                         description="CCSM2 new run")
+
+    def publish():
+        published = []
+        for month in range(1, 7):
+            # The model "computes" then writes this month's file at LLNL.
+            compute_time = file_size / (2 * 2**20)  # ~2 MB/s output rate
+            yield tb.env.timeout(compute_time)
+            name = f"{ds_id}.2001.m{month:02d}-m{month:02d}.nc"
+            llnl.fs.create(name, file_size)
+            # Upload to the archive (third-party put into PDSF's MSS).
+            session = yield from tb.gridftp.connect(
+                tb.client_host, pdsf.hostname)
+            stats = yield from session.put(name, llnl.fs, llnl.host)
+            session.close()
+            # Ingest into HPSS: cache now, tape in background.
+            file = pdsf.fs.stat(name)
+            yield from pdsf.hrm.mss.store(
+                FileObject(name, file.size), tape="T-new",
+                position=(month - 1) / 12.0)
+            # Catalog the new file.
+            if month == 1:
+                tb.replica_catalog.register_location(
+                    ds_id, "lbnl-pdsf", "gsiftp", pdsf.hostname, 2811,
+                    "/hpss/new", files=[name])
+            else:
+                tb.replica_catalog.add_file_to_location(
+                    ds_id, "lbnl-pdsf", name)
+            tb.replica_catalog.register_logical_file(ds_id, name,
+                                                     file.size)
+            tb.metadata_catalog.register_files(ds_id, [{
+                "logical_name": name, "size": file.size,
+                "year": 2001, "month_range": (month, month),
+                "variables": ("tas",)}])
+            published.append((tb.env.now, name, stats.mean_rate))
+            print(f"  t={tb.env.now:7.1f}s published {name} "
+                  f"(upload {to_mbps(stats.mean_rate):.0f} Mb/s, "
+                  f"migrating to tape)")
+        return published
+
+    print("=== Producing and archiving six months of CCSM2 output ===")
+    published = tb.run_process(publish())
+    print(f"  tape migrations completed: {pdsf.hrm.mss.migrations}")
+
+    print("\n=== Replicating the first two months to fast sites ===")
+
+    def replicate():
+        for _, name, _ in published[:2]:
+            for site_name in ("anl", "ncar"):
+                site = tb.sites[site_name]
+                stats = yield from tb.replica_manager.replicate_file(
+                    tb.client_host, ds_id, name,
+                    f"{site_name}-new", site.server)
+                print(f"  {name} -> {site.hostname} "
+                      f"({to_mbps(stats.mean_rate):.0f} Mb/s)")
+
+    tb.run_process(replicate())
+    coverage = tb.replica_manager.coverage(ds_id)
+    print("  replica counts:",
+          {k.split(".")[-2]: v for k, v in sorted(coverage.items())})
+
+    print("\n=== A consumer fetches the fresh data ===")
+    name = published[0][1]
+
+    def consume():
+        ticket = yield from tb.request_manager.request([(ds_id, name)])
+        return ticket
+
+    ticket = tb.run_process(consume())
+    fr = ticket.files[0]
+    print(f"  {fr.logical_file} delivered from {fr.chosen_location} "
+          f"({fr.bytes_done / 2**20:.0f} MiB)")
+
+
+if __name__ == "__main__":
+    main()

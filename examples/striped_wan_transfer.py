@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""The SC'2000 striped-transfer experiment (Table 1), shortened.
+
+Reproduces the §7 configuration — 8 striped servers in Dallas sending a
+partitioned 2 GB file to 8 workstations at LBNL with up to 4 TCP streams
+per server, 1 MB buffers, interrupt coalescing, shared OC-48 — for ten
+simulated minutes, and prints the Table 1 rows.
+
+Run:  python examples/striped_wan_transfer.py          (10 min, ~10 s wall)
+      python examples/striped_wan_transfer.py --hour   (the full hour)
+"""
+
+import sys
+
+from repro.netlogger import bandwidth_timeline
+from repro.scenarios import ScinetTestbed, run_table1_schedule
+
+
+def main() -> None:
+    duration = 3600.0 if "--hour" in sys.argv else 600.0
+    print(f"Simulating the SC'2000 schedule for {duration:.0f} s...")
+    testbed = ScinetTestbed(seed=3)
+    result = run_table1_schedule(testbed, duration=duration)
+
+    print("\n=== Table 1 ===")
+    for label, value in result.rows():
+        print(f"  {label:<48} {value}")
+    print(f"  (partition copies completed: {result.copies_completed})")
+
+    print("\n=== Aggregate bandwidth timeline (1-minute bins) ===")
+    times, rates = bandwidth_timeline(result.series, bin_seconds=60.0)
+    peak = rates.max() if len(rates) else 1.0
+    for t, r in zip(times, rates):
+        mbit = r * 8 / 1e6
+        bar = "#" * int(40 * r / peak)
+        print(f"  {t / 60:5.1f} min {mbit:8.1f} Mb/s {bar}")
+
+    print("\nPaper's measured values: peak(0.1s)=1.55 Gb/s, "
+          "peak(5s)=1.03 Gb/s,\nsustained(1h)=512.9 Mb/s, "
+          "total=230.8 GB — shaped by the same mechanisms\n"
+          "(CPU interrupt ceiling, shared-floor contention, 1 MB windows).")
+
+
+if __name__ == "__main__":
+    main()

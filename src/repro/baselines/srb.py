@@ -1,0 +1,136 @@
+"""An SRB-style integrated storage broker.
+
+§8: "Using its Metadata Catalog (MCAT), SRB provides collection-based
+access to data based on high-level attributes rather than on physical
+filenames. SRB also supports automatic replication ... In contrast to
+the layered Globus architecture with direct user and application control
+over replication, SRB uses an integrated architecture, with all access
+to data via the SRB interface and MCAT and with SRB control over
+replication and replica selection."
+
+The modelling consequence: every byte flows *through the broker host*
+(two WAN hops instead of one, broker CPU shared by all clients), and the
+MCAT is consulted on every open. Replication is automatic on read
+(configurable threshold), not user-directed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.hosts.host import Host
+from repro.net.fluid import FlowError
+from repro.net.tcp import TcpParams
+from repro.net.transport import ConnectionRefused, Transport
+from repro.sim.core import Environment
+from repro.storage.filesystem import FileSystem
+
+
+class SrbError(Exception):
+    """Broker-level failure (unknown object, unreachable resource)."""
+
+
+class SrbBroker:
+    """The broker: MCAT + mediated access + automatic replication.
+
+    Parameters
+    ----------
+    env, transport:
+        Simulation environment and transport.
+    host:
+        The broker's host (all data transits it).
+    mcat_latency:
+        Cost of an MCAT lookup, seconds.
+    auto_replicate_after:
+        Reads of one object from one client site before the broker
+        replicates it to the site's resource automatically (0 disables).
+    """
+
+    def __init__(self, env: Environment, transport: Transport,
+                 host: Host, mcat_latency: float = 0.02,
+                 auto_replicate_after: int = 3):
+        self.env = env
+        self.transport = transport
+        self.host = host
+        self.mcat_latency = mcat_latency
+        self.auto_replicate_after = auto_replicate_after
+        # object -> [(resource_host, fs)]
+        self._locations: Dict[str, List[Tuple[Host, FileSystem]]] = {}
+        self._attributes: Dict[str, Dict[str, str]] = {}
+        self._read_counts: Dict[Tuple[str, str], int] = {}
+        self.mcat_queries = 0
+        self.replications = 0
+
+    # -- registration -------------------------------------------------------
+    def register(self, obj: str, resource_host: Host, fs: FileSystem,
+                 attributes: Optional[Dict[str, str]] = None) -> None:
+        """Register an object replica on a storage resource."""
+        if not fs.exists(obj):
+            raise SrbError(f"{obj!r} not present on {resource_host.name}")
+        self._locations.setdefault(obj, []).append((resource_host, fs))
+        if attributes:
+            self._attributes.setdefault(obj, {}).update(attributes)
+
+    def query_mcat(self, **attrs: str):
+        """Simulation process: attribute search → object names."""
+        self.mcat_queries += 1
+        yield self.env.timeout(self.mcat_latency)
+        out = []
+        for obj, recorded in self._attributes.items():
+            if all(recorded.get(k) == v for k, v in attrs.items()):
+                out.append(obj)
+        return sorted(out)
+
+    # -- mediated read ---------------------------------------------------------
+    def sget(self, client_host: Host, client_fs: FileSystem, obj: str,
+             client_resource: Optional[FileSystem] = None):
+        """Simulation process: read an object through the broker.
+
+        Data path: storage resource → broker host → client (both legs
+        through the broker's CPU/NIC). Returns (nbytes, seconds).
+        """
+        env = self.env
+        self.mcat_queries += 1
+        yield env.timeout(self.mcat_latency)  # MCAT on every open
+        replicas = self._locations.get(obj)
+        if not replicas:
+            raise SrbError(f"no such object {obj!r}")
+        src_host, src_fs = replicas[0]  # broker picks; client has no say
+        for host, fs in replicas:
+            if host.site == client_host.site:
+                src_host, src_fs = host, fs
+                break
+        file = src_fs.stat(obj)
+        started = env.now
+        try:
+            leg1 = yield from self.transport.connect(
+                src_host.node, self.host.node, TcpParams())
+            leg2 = yield from self.transport.connect(
+                self.host.node, client_host.node, TcpParams())
+        except ConnectionRefused as exc:
+            raise SrbError(f"resource unreachable: {exc}") from exc
+        try:
+            yield from leg1.send(file.size)
+            yield from leg2.send(file.size)
+        except FlowError as exc:
+            raise SrbError(f"transfer failed: {exc}") from exc
+        finally:
+            leg1.close()
+            leg2.close()
+        client_fs.create(obj, file.size, content=file.content,
+                         overwrite=True)
+        # Automatic replication: the broker, not the user, decides.
+        key = (obj, client_host.site)
+        self._read_counts[key] = self._read_counts.get(key, 0) + 1
+        if (self.auto_replicate_after
+                and client_resource is not None
+                and self._read_counts[key] == self.auto_replicate_after
+                and not client_resource.exists(obj)):
+            client_resource.store(file.with_name(obj))
+            self._locations[obj].append((client_host, client_resource))
+            self.replications += 1
+        return file.size, env.now - started
+
+    def replica_count(self, obj: str) -> int:
+        """How many replicas the broker currently manages."""
+        return len(self._locations.get(obj, []))

@@ -1,0 +1,88 @@
+"""Analysis primitives over :class:`repro.data.Dataset`."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.data.variables import DataError, Dataset, Variable
+
+
+def _tlatlon(ds: Dataset, variable: str) -> Variable:
+    var = ds[variable]
+    if var.dims != ("time", "lat", "lon"):
+        raise DataError(f"{variable!r} must be (time, lat, lon), "
+                        f"got {var.dims}")
+    return var
+
+
+def concat_time(datasets: Sequence[Dataset], variable: str) -> Dataset:
+    """Concatenate several files' worth of one variable along time.
+
+    The inputs must share lat/lon grids; time coordinates are stacked in
+    the given order (the metadata catalog returns files time-sorted).
+    """
+    if not datasets:
+        raise DataError("nothing to concatenate")
+    first = datasets[0]
+    var0 = _tlatlon(first, variable)
+    for ds in datasets[1:]:
+        if (not np.array_equal(ds.coords["lat"], first.coords["lat"])
+                or not np.array_equal(ds.coords["lon"],
+                                      first.coords["lon"])):
+            raise DataError("lat/lon grids differ between files")
+    out = Dataset(f"{first.name}:concat", dict(first.attrs))
+    out.add_coord("time", np.concatenate(
+        [ds.coords["time"] for ds in datasets]))
+    out.add_coord("lat", first.coords["lat"])
+    out.add_coord("lon", first.coords["lon"])
+    data = np.concatenate([_tlatlon(ds, variable).data
+                           for ds in datasets], axis=0)
+    out.add_variable(Variable(variable, ("time", "lat", "lon"), data,
+                              dict(var0.attrs)))
+    return out
+
+
+def time_mean(ds: Dataset, variable: str) -> np.ndarray:
+    """Mean over time → (lat, lon) field."""
+    return _tlatlon(ds, variable).data.mean(axis=0)
+
+
+def zonal_mean(ds: Dataset, variable: str) -> np.ndarray:
+    """Mean over time and longitude → (lat,) profile."""
+    return _tlatlon(ds, variable).data.mean(axis=(0, 2))
+
+
+def area_weights(ds: Dataset) -> np.ndarray:
+    """cos(latitude) weights, normalized to sum 1."""
+    w = np.cos(np.deg2rad(ds.coords["lat"]))
+    w = np.clip(w, 0.0, None)
+    return w / w.sum()
+
+
+def global_mean_series(ds: Dataset, variable: str) -> np.ndarray:
+    """Area-weighted global mean per time step → (time,) series."""
+    var = _tlatlon(ds, variable)
+    w = area_weights(ds)
+    # Mean over lon first, then weight by latitude band area.
+    return (var.data.mean(axis=2) * w[None, :]).sum(axis=1)
+
+
+def anomaly(ds: Dataset, variable: str) -> np.ndarray:
+    """Deviation of each time step from the time mean (t, lat, lon)."""
+    var = _tlatlon(ds, variable)
+    return var.data - var.data.mean(axis=0, keepdims=True)
+
+
+def seasonal_cycle(ds: Dataset, variable: str) -> np.ndarray:
+    """Mean by calendar month → (12, lat, lon) climatology.
+
+    Requires a monthly time axis whose length is a multiple of 12.
+    """
+    var = _tlatlon(ds, variable)
+    nt = var.data.shape[0]
+    if nt % 12 != 0 or nt == 0:
+        raise DataError(f"need whole years of monthly data, got {nt} steps")
+    return var.data.reshape(nt // 12, 12,
+                            *var.data.shape[1:]).mean(axis=0)

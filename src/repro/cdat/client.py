@@ -1,0 +1,117 @@
+"""The CDAT client: metadata query → RM fetch → decode → analyze."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cdat.analysis import concat_time
+from repro.data.ncformat import decode
+from repro.data.variables import DataError, Dataset
+from repro.metadata.catalog import MetadataCatalog
+from repro.rm.manager import RequestManager
+from repro.rm.request import FileState, RequestTicket
+from repro.rm.rpc import CorbaChannel
+from repro.sim.core import Environment
+from repro.storage.filesystem import FileSystem
+
+
+@dataclass
+class AnalysisResult:
+    """What a VCDAT session ends up with after a fetch."""
+
+    dataset: Dataset          # merged along time, ready for analysis
+    variable: str
+    logical_files: List[str]
+    ticket: RequestTicket
+
+    @property
+    def transfer_seconds(self) -> float:
+        """Wall-clock from submission to last file completion."""
+        ends = [f.finished_at for f in self.ticket.files
+                if f.finished_at is not None]
+        return (max(ends) - self.ticket.submitted_at) if ends else 0.0
+
+
+class CdatClient:
+    """Drives the §3 end-to-end flow from the user's desktop.
+
+    "The CDAT system forwards the desired logical filenames to the
+    request manager, which manages the data transfer... Once the data is
+    available, VCDAT ... performs the visualization."
+    """
+
+    def __init__(self, env: Environment, metadata: MetadataCatalog,
+                 request_manager: RequestManager, local_fs: FileSystem,
+                 rpc: Optional[CorbaChannel] = None):
+        self.env = env
+        self.metadata = metadata
+        self.rm = request_manager
+        self.local_fs = local_fs
+        self.rpc = rpc or CorbaChannel(env)
+
+    # -- browsing (Figure 2 panes) ------------------------------------------
+    def browse(self) -> List[dict]:
+        """Dataset/variable listing for the selection UI."""
+        out = []
+        for ds in self.metadata.datasets():
+            out.append({
+                "dataset": ds.dataset_id,
+                "model": ds.model,
+                "run": ds.run,
+                "variables": [
+                    {"name": v.name, "units": v.units,
+                     "description": v.long_name}
+                    for v in self.metadata.variables(ds.dataset_id)],
+                "files": ds.file_count,
+            })
+        return out
+
+    # -- the end-to-end fetch -----------------------------------------------------
+    def select_files(self, dataset_id: str, variable: str,
+                     years: Optional[Tuple[int, int]] = None,
+                     months: Optional[Tuple[int, int]] = None):
+        """Simulation process: attribute selection → logical file names."""
+        names = yield from self.metadata.query_files(
+            dataset_id, variable, years, months)
+        return names
+
+    def fetch(self, dataset_id: str, variable: str,
+              years: Optional[Tuple[int, int]] = None,
+              months: Optional[Tuple[int, int]] = None,
+              require_content: bool = True):
+        """Simulation process: the full §3/§4 pipeline.
+
+        Resolves attributes to logical files, calls the RM through the
+        CORBA shim, decodes the delivered SDBF bytes, and merges them
+        into one analysis-ready dataset. With ``require_content=False``
+        a catalog-only archive (sizes without bytes) yields a result
+        whose ``dataset`` is None — transfer behaviour only.
+        """
+        names = yield from self.select_files(dataset_id, variable,
+                                             years, months)
+        if not names:
+            raise DataError(
+                f"selection matched no files in {dataset_id!r}")
+        ticket = yield from self.rpc.call(
+            self.rm.request, [(dataset_id, n) for n in names],
+            n_items=len(names))
+        failed = ticket.failed_files
+        if failed:
+            raise DataError(
+                f"{len(failed)} file(s) failed: "
+                + ", ".join(f"{f.logical_file} ({f.error})"
+                            for f in failed[:3]))
+        datasets = []
+        for name in names:
+            file = self.local_fs.stat(name)
+            if file.content is None:
+                if require_content:
+                    raise DataError(
+                        f"{name}: delivered without content (synthetic "
+                        f"archive); pass require_content=False")
+                continue
+            datasets.append(decode(file.content))
+        merged = (concat_time(datasets, variable) if datasets else None)
+        return AnalysisResult(dataset=merged, variable=variable,
+                              logical_files=list(names), ticket=ticket)

@@ -1,0 +1,71 @@
+"""Image-file output for fields (VCDAT made pictures; so do we).
+
+Binary PGM (grayscale) and PPM (color-mapped) writers with no imaging
+dependency — any viewer opens them. The color map is a blue→white→red
+diverging ramp suited to temperature/anomaly fields.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _normalize(field: np.ndarray,
+               vmin: Optional[float], vmax: Optional[float]) -> np.ndarray:
+    lo = float(np.min(field)) if vmin is None else vmin
+    hi = float(np.max(field)) if vmax is None else vmax
+    if hi <= lo:
+        return np.zeros_like(field, dtype=float)
+    return np.clip((field - lo) / (hi - lo), 0.0, 1.0)
+
+
+def _prepare(field: np.ndarray, flip_north_up: bool) -> np.ndarray:
+    field = np.asarray(field, dtype=float)
+    if field.ndim != 2:
+        raise ValueError(f"need a 2-D field, got {field.ndim}-D")
+    # Our grids run south→north; images run top→bottom.
+    return field[::-1] if flip_north_up else field
+
+
+def field_to_pgm(field: np.ndarray, vmin: Optional[float] = None,
+                 vmax: Optional[float] = None,
+                 flip_north_up: bool = True) -> bytes:
+    """Encode a (lat, lon) field as a binary PGM (P5) image."""
+    field = _prepare(field, flip_north_up)
+    norm = _normalize(field, vmin, vmax)
+    pixels = (norm * 255).astype(np.uint8)
+    h, w = pixels.shape
+    header = f"P5\n{w} {h}\n255\n".encode()
+    return header + pixels.tobytes()
+
+
+def _diverging_rgb(norm: np.ndarray) -> np.ndarray:
+    """Blue (0) → white (0.5) → red (1) color map, vectorized."""
+    r = np.where(norm < 0.5, norm * 2.0, 1.0)
+    b = np.where(norm < 0.5, 1.0, (1.0 - norm) * 2.0)
+    g = 1.0 - np.abs(norm - 0.5) * 2.0 * 0.8
+    rgb = np.stack([r, g, b], axis=-1)
+    return (np.clip(rgb, 0, 1) * 255).astype(np.uint8)
+
+
+def field_to_ppm(field: np.ndarray, vmin: Optional[float] = None,
+                 vmax: Optional[float] = None,
+                 flip_north_up: bool = True) -> bytes:
+    """Encode a (lat, lon) field as a binary PPM (P6) color image."""
+    field = _prepare(field, flip_north_up)
+    norm = _normalize(field, vmin, vmax)
+    pixels = _diverging_rgb(norm)
+    h, w = pixels.shape[:2]
+    header = f"P6\n{w} {h}\n255\n".encode()
+    return header + pixels.tobytes()
+
+
+def decode_pnm_header(blob: bytes) -> Tuple[str, int, int]:
+    """(magic, width, height) of a PGM/PPM byte stream (for tests)."""
+    parts = blob.split(b"\n", 3)
+    if len(parts) < 4 or parts[0] not in (b"P5", b"P6"):
+        raise ValueError("not a binary PGM/PPM stream")
+    w, h = (int(x) for x in parts[1].split())
+    return parts[0].decode(), w, h

@@ -1,0 +1,168 @@
+"""The ESG-II lightweight client ("portal").
+
+§9: ESG-II adds "(1) distribution of data analysis and visualization
+pipelines, so that some data analysis operations (at least extraction
+and subsetting, similar to those available with DODS) can be performed
+local to the data ...; (3) access to data and analysis capabilities
+from lightweight clients such as browsers, and portals".
+
+The :class:`PortalClient` is that lightweight client: it never pulls
+whole files. Every request names a server-side operation (subset /
+extract / time-mean) executed by the GridFTP ERET plug-ins at the best
+replica, so only derived products cross the WAN — a browser-scale
+client on top of the heavyweight grid.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.data.ncformat import decode
+from repro.data.variables import Dataset
+from repro.gridftp.client import GridFtpClient
+from repro.gridftp.protocol import GridFtpConfig
+from repro.metadata.catalog import MetadataCatalog
+from repro.replica.catalog import ReplicaCatalog
+from repro.replica.selection import NwsBestPolicy, ReplicaCandidate
+from repro.sim.core import Environment
+from repro.storage.filesystem import FileSystem
+
+
+@dataclass
+class PortalResponse:
+    """What a portal request returns."""
+
+    dataset: Dataset
+    bytes_shipped: float
+    full_bytes: float
+    source_hostname: str
+    seconds: float
+
+    @property
+    def reduction(self) -> float:
+        """How much smaller the shipped product is than the file."""
+        return (self.full_bytes / self.bytes_shipped
+                if self.bytes_shipped > 0 else float("inf"))
+
+
+class PortalClient:
+    """Server-side-processing-only access to the archive.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    metadata, replica_catalog:
+        The catalogs (shared with the heavyweight stack).
+    gridftp:
+        The GridFTP client used under the hood.
+    client_host:
+        The portal machine's host.
+    mds:
+        Optional MDS for NWS-guided replica choice; without it the
+        first replica wins.
+    """
+
+    _serial = itertools.count(1)
+
+    def __init__(self, env: Environment, metadata: MetadataCatalog,
+                 replica_catalog: ReplicaCatalog,
+                 gridftp: GridFtpClient, client_host, registry: Dict,
+                 mds=None):
+        self.env = env
+        self.metadata = metadata
+        self.replica_catalog = replica_catalog
+        self.gridftp = gridftp
+        self.client_host = client_host
+        self.registry = registry
+        self.mds = mds
+        self.scratch = FileSystem(env, f"portal-{next(self._serial)}")
+        self.requests_served = 0
+
+    # -- selection helpers --------------------------------------------------
+    def _pick_replica(self, collection: str, logical_file: str):
+        """Simulation process: best replica for a small product."""
+        replicas = yield from self.replica_catalog.find_replicas(
+            collection, logical_file)
+        candidates: List[ReplicaCandidate] = []
+        for loc in replicas:
+            server = self.registry.get(loc.hostname)
+            if server is None:
+                continue
+            bandwidth, latency = 1e6, 0.1
+            if self.mds is not None:
+                forecast = yield from self.mds.nws_forecast(
+                    server.host.node, self.client_host.node)
+                if forecast is not None:
+                    bandwidth, latency = forecast
+            # Portal products are tiny: a tape-staging wait would dwarf
+            # the transfer, so staging cost must enter the ranking.
+            stage_wait = 0.0
+            if server.hrm is not None and not server.hrm.is_staged(
+                    logical_file):
+                stage_wait = server.hrm.estimate_wait(logical_file)
+            candidates.append(ReplicaCandidate(loc, bandwidth, latency,
+                                               stage_wait=stage_wait))
+        if not candidates:
+            raise RuntimeError(f"no reachable replica of {logical_file!r}")
+        ranked = NwsBestPolicy(consider_staging=True).rank(candidates,
+                                                           nbytes=1e6)
+        return ranked[0].location
+
+    # -- the portal operations ------------------------------------------------
+    def request(self, dataset_id: str, variable: str,
+                operation: str = "subset",
+                years: Optional[Tuple[int, int]] = None,
+                months: Optional[Tuple[int, int]] = None,
+                **ranges: Tuple[float, float]):
+        """Simulation process: one lightweight request.
+
+        ``operation`` is an ERET plug-in name ("subset", "extract",
+        "time_mean"). Spatiotemporal ``ranges`` apply to "subset".
+        Returns a :class:`PortalResponse` whose dataset merges the
+        per-file products along time (except "time_mean", which returns
+        the first product).
+        """
+        names = yield from self.metadata.query_files(
+            dataset_id, variable, years, months)
+        if not names:
+            raise RuntimeError(f"selection matched nothing in "
+                               f"{dataset_id!r}")
+        started = self.env.now
+        shipped = 0.0
+        full = 0.0
+        datasets = []
+        source = ""
+        args = {"variable": variable}
+        if operation == "subset":
+            args.update({k: v for k, v in ranges.items()})
+        cfg = GridFtpConfig(parallelism=1)
+        for name in names:
+            loc = yield from self._pick_replica(dataset_id, name)
+            source = loc.hostname
+            session = yield from self.gridftp.connect(
+                self.client_host, loc.hostname, cfg)
+            dest_name = f"{name}.{operation}"
+            stats = yield from session.get(
+                name, self.scratch, self.client_host,
+                dest_name=dest_name, eret=operation, eret_args=args,
+                config=cfg)
+            session.close()
+            shipped += stats.transferred_bytes
+            full += self.registry[loc.hostname].fs.stat(name).size \
+                if self.registry[loc.hostname].fs.exists(name) else 0.0
+            blob = self.scratch.stat(dest_name).content
+            if blob is None:
+                raise RuntimeError(f"{name}: server shipped no content")
+            datasets.append(decode(blob))
+        self.requests_served += 1
+        if operation == "time_mean" or len(datasets) == 1:
+            merged = datasets[0]
+        else:
+            from repro.cdat.analysis import concat_time
+            merged = concat_time(datasets, variable)
+        return PortalResponse(dataset=merged, bytes_shipped=shipped,
+                              full_bytes=full, source_hostname=source,
+                              seconds=self.env.now - started)

@@ -1,0 +1,137 @@
+"""Command-line interface: the paper's experiments from a shell.
+
+Installed as the ``repro`` console script::
+
+    repro demo                 # the quickstart flow (browse/fetch/render)
+    repro table1 [--minutes N] # the SC'2000 striped-transfer experiment
+    repro figure8 [--hours N]  # the commodity-internet reliability run
+    repro browse               # list the synthetic archive
+    repro portal VAR           # an ESG-II server-side subset request
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_demo(args) -> int:
+    from repro.esg import EarthSystemGrid
+    esg = EarthSystemGrid.demo_testbed(seed=args.seed)
+    result, viz = esg.fetch_and_analyze("pcmdi.ncar_csm.run1", "tas",
+                                        months=(6, 8))
+    print(viz)
+    print(f"\n{len(result.logical_files)} files from "
+          f"{sorted(set(f.chosen_location for f in result.ticket.files))} "
+          f"in {result.transfer_seconds:.1f} simulated seconds")
+    return 0
+
+
+def _cmd_browse(args) -> int:
+    from repro.esg import EarthSystemGrid
+    esg = EarthSystemGrid.demo_testbed(seed=args.seed, materialize=False)
+    for entry in esg.browse():
+        variables = ", ".join(v["name"] for v in entry["variables"])
+        print(f"{entry['dataset']:<28} model={entry['model']:<10} "
+              f"files={entry['files']:>4}  [{variables}]")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.scenarios import ScinetTestbed, run_table1_schedule
+    duration = args.minutes * 60.0
+    print(f"simulating the SC'2000 schedule for {args.minutes} min...",
+          file=sys.stderr)
+    result = run_table1_schedule(ScinetTestbed(seed=args.seed),
+                                 duration=duration)
+    for label, value in result.rows():
+        print(f"{label:<48} {value}")
+    return 0
+
+
+def _cmd_figure8(args) -> int:
+    from repro.net import FaultSchedule
+    from repro.scenarios import CommodityTestbed, run_figure8_schedule
+    from repro.scenarios.commodity import HOURS, default_fault_schedule
+    duration = args.hours * HOURS
+    faults = (default_fault_schedule() if args.hours >= 10
+              else FaultSchedule()
+              .site_outage("dallas", start=duration * 0.2,
+                           duration=duration * 0.08,
+                           description="SCinet power failure")
+              .degrade("commodity:fwd", start=duration * 0.6,
+                       duration=duration * 0.1, fraction=0.15,
+                       description="backbone problems"))
+    print(f"simulating {args.hours} h of repeated 2 GB transfers...",
+          file=sys.stderr)
+    result = run_figure8_schedule(CommodityTestbed(seed=args.seed),
+                                  duration=duration, faults=faults,
+                                  bin_seconds=duration / 100)
+    peak = result.bin_rates.max() or 1.0
+    for t, r in zip(result.bin_times, result.bin_rates):
+        bar = "#" * int(46 * r / peak)
+        print(f"{t / HOURS:6.2f} h {r * 8 / 1e6:7.1f} Mb/s {bar}")
+    print(f"plateau {result.plateau_rate * 8 / 1e6:.1f} Mb/s; "
+          f"{result.transfers_completed} transfers, "
+          f"{result.restarts} restarts")
+    return 0
+
+
+def _cmd_portal(args) -> int:
+    from repro.cdat import render_field
+    from repro.scenarios import EsgTestbed
+    tb = EsgTestbed(seed=args.seed, materialize=True)
+    tb.warm_nws(90.0)
+
+    def flow():
+        return (yield from tb.portal.request(
+            "pcmdi.ncar_csm.run1", args.variable,
+            operation="time_mean", months=(1, 1)))
+
+    resp = tb.run_process(flow())
+    print(render_field(resp.dataset[args.variable].data,
+                       title=f"{args.variable}: server-side January mean",
+                       width=64, height=16))
+    print(f"shipped {resp.bytes_shipped / 1024:.1f} KB "
+          f"({resp.reduction:.1f}x less than the file) from "
+          f"{resp.source_hostname}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument grammar (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Earth System Grid prototype reproduction (SC 2001)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="simulation seed (default 7)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("demo", help="quickstart: fetch + visualize")
+    sub.add_parser("browse", help="list the synthetic archive")
+    t1 = sub.add_parser("table1", help="the Table 1 experiment")
+    t1.add_argument("--minutes", type=float, default=10.0)
+    f8 = sub.add_parser("figure8", help="the Figure 8 experiment")
+    f8.add_argument("--hours", type=float, default=2.0)
+    pt = sub.add_parser("portal", help="ESG-II server-side request")
+    pt.add_argument("variable", choices=["tas", "pr", "clt"])
+    return parser
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "browse": _cmd_browse,
+    "table1": _cmd_table1,
+    "figure8": _cmd_figure8,
+    "portal": _cmd_portal,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (console script ``repro``)."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

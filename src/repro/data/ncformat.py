@@ -1,0 +1,109 @@
+"""SDBF: a self-describing binary format in the netCDF-classic spirit.
+
+Layout::
+
+    bytes 0-3   magic  b"SDBF"
+    bytes 4-7   version (u32 little-endian)
+    bytes 8-11  header length H (u32)
+    bytes 12-.. UTF-8 JSON header: dataset name/attrs, coordinates
+                (name, length, dtype, offset), variables (name, dims,
+                shape, dtype, attrs, offset)
+    then        raw little-endian array payloads at the stated offsets
+
+The header is readable without the payload — :func:`decode_header` is
+what a metadata scanner (or a DODS-style subsetting server) uses to
+answer structural queries cheaply.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.data.variables import Dataset, Variable
+
+MAGIC = b"SDBF"
+VERSION = 1
+
+
+class FormatError(Exception):
+    """Not an SDBF byte stream, or a corrupt one."""
+
+
+def encode(dataset: Dataset) -> bytes:
+    """Serialize a :class:`Dataset` to SDBF bytes."""
+    payload_parts = []
+    offset = 0
+
+    def _append(arr: np.ndarray) -> Tuple[int, str]:
+        nonlocal offset
+        raw = np.ascontiguousarray(arr).astype("<f8").tobytes()
+        payload_parts.append(raw)
+        start = offset
+        offset += len(raw)
+        return start, "<f8"
+
+    coords_hdr = {}
+    for name, coord in dataset.coords.items():
+        start, dtype = _append(coord)
+        coords_hdr[name] = {"length": int(len(coord)), "dtype": dtype,
+                            "offset": start}
+    vars_hdr = {}
+    for name, var in dataset.variables.items():
+        start, dtype = _append(var.data)
+        vars_hdr[name] = {"dims": list(var.dims),
+                          "shape": [int(s) for s in var.shape],
+                          "dtype": dtype, "offset": start,
+                          "attrs": dict(var.attrs)}
+    header = json.dumps({
+        "name": dataset.name,
+        "attrs": dict(dataset.attrs),
+        "coords": coords_hdr,
+        "variables": vars_hdr,
+    }).encode()
+    return (MAGIC + struct.pack("<II", VERSION, len(header))
+            + header + b"".join(payload_parts))
+
+
+def decode_header(blob: bytes) -> Dict:
+    """Parse only the JSON header (cheap structural inspection)."""
+    if len(blob) < 12 or blob[:4] != MAGIC:
+        raise FormatError("not an SDBF stream")
+    version, hlen = struct.unpack("<II", blob[4:12])
+    if version != VERSION:
+        raise FormatError(f"unsupported SDBF version {version}")
+    if len(blob) < 12 + hlen:
+        raise FormatError("truncated header")
+    try:
+        return json.loads(blob[12:12 + hlen].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FormatError(f"corrupt header: {exc}") from exc
+
+
+def decode(blob: bytes) -> Dataset:
+    """Deserialize SDBF bytes back into a :class:`Dataset`."""
+    header = decode_header(blob)
+    _, hlen = struct.unpack("<II", blob[4:12])
+    payload = blob[12 + hlen:]
+    ds = Dataset(header["name"], header.get("attrs", {}))
+
+    def _array(meta, count) -> np.ndarray:
+        start = meta["offset"]
+        nbytes = count * 8
+        if start + nbytes > len(payload):
+            raise FormatError("truncated payload")
+        return np.frombuffer(payload, dtype=meta["dtype"], count=count,
+                             offset=start)
+
+    for name, meta in header.get("coords", {}).items():
+        ds.add_coord(name, _array(meta, meta["length"]).copy())
+    for name, meta in header.get("variables", {}).items():
+        shape = tuple(meta["shape"])
+        count = int(np.prod(shape)) if shape else 1
+        data = _array(meta, count).copy().reshape(shape)
+        ds.add_variable(Variable(name, tuple(meta["dims"]), data,
+                                 meta.get("attrs", {})))
+    return ds

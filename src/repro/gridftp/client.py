@@ -1,0 +1,457 @@
+"""The GridFTP client: sessions, parallel gets, puts, third-party copies.
+
+A :class:`ClientSession` is an authenticated control connection to one
+server. ``get`` moves a file with N parallel data channels: the file is
+cut into blocks, channels pull blocks from a shared queue (approximating
+GridFTP's extended-block mode), and failed channels' unfinished blocks
+return to the queue for restart — so a transient outage costs a restart,
+not a re-send of everything (§6.1 "reliable and restartable data
+transfer" / Figure 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.gridftp.channels import DataChannelCache
+from repro.gridftp.protocol import (
+    CANT_OPEN_DATA,
+    FtpReply,
+    GridFtpConfig,
+    GridFtpError,
+    TRANSFER_ABORTED,
+    TransferStats,
+)
+from repro.gridftp.server import GridFtpServer
+from repro.gsi.auth import AuthenticationError
+from repro.net.fluid import FlowError
+from repro.net.recorder import RateRecorder
+from repro.net.tcp import TcpParams, bdp_buffer_size
+from repro.net.transport import Connection, ConnectionRefused, Transport
+from repro.sim.core import Environment
+from repro.sim.events import Event
+from repro.storage.filesystem import FileSystem
+
+_MIN_BLOCK = 256 * 1024.0
+_BLOCKS_PER_CHANNEL = 4
+
+
+class TransferHandle:
+    """Live view of an in-progress transfer (what the RM monitor polls)."""
+
+    def __init__(self, env: Environment, path: str, total: float):
+        self.env = env
+        self.path = path
+        self.total = total
+        self.done: Event = Event(env)
+        self._completed = 0.0
+        self._active_flows: List = []
+        self.aborted = False
+        self.abort_reason = ""
+
+    def bytes_done(self) -> float:
+        """Bytes delivered so far (live flows included)."""
+        live = sum(f.progress() for f in self._active_flows if f.active)
+        return self._completed + live
+
+    @property
+    def fraction(self) -> float:
+        """Completion fraction in [0, 1]."""
+        return self.bytes_done() / self.total if self.total > 0 else 1.0
+
+    def abort(self, reason: str = "user abort") -> None:
+        """Cancel the transfer; the waiter sees a GridFtpError."""
+        self.aborted = True
+        self.abort_reason = reason
+        for f in list(self._active_flows):
+            if f.active:
+                f.abort(reason)
+
+
+class ClientSession:
+    """An authenticated control connection to one GridFTP server."""
+
+    def __init__(self, client: "GridFtpClient", server: GridFtpServer,
+                 control: Connection, subjects: Tuple[str, str]):
+        self.client = client
+        self.server = server
+        self.control = control
+        self.subjects = subjects
+        self.env = client.env
+        self.commands_sent = 0
+
+    # -- simple commands ---------------------------------------------------
+    def _command(self, server_time: float = 0.0):
+        self.commands_sent += 1
+        yield from self.control.request(server_time=server_time)
+
+    def feat(self):
+        """Simulation process: FEAT — the server's extension list."""
+        yield from self._command()
+        return self.server.features
+
+    def size(self, path: str):
+        """Simulation process: SIZE — byte count or 550."""
+        yield from self._command()
+        return self.server.size(path)
+
+    def exists(self, path: str):
+        """Simulation process: probe for a file (SIZE that may 550)."""
+        yield from self._command()
+        return self.server.exists(path)
+
+    def close(self) -> None:
+        """Tear down the control connection."""
+        self.control.close()
+
+    # -- data transfer ----------------------------------------------------------
+    def get(self, path: str, dest_fs: FileSystem, dest_host,
+            dest_name: Optional[str] = None,
+            offset: float = 0.0, length: Optional[float] = None,
+            eret: Optional[str] = None, eret_args: Optional[dict] = None,
+            record: bool = False,
+            handle: Optional[TransferHandle] = None,
+            config: Optional[GridFtpConfig] = None):
+        """Simulation process: RETR ``path`` into ``dest_fs``.
+
+        Returns :class:`TransferStats`. With ``record=True`` the stats
+        carry one closed RateSeries per moved block (sum them with
+        :func:`repro.net.aggregate_series` for the bandwidth timeline).
+        Raises :class:`GridFtpError` with a 4xx/5xx reply on failure
+        (426 when retries are exhausted).
+        """
+        cfg = config or self.client.config
+        env = self.env
+        # SBUF + OPTS + RETR setup commands.
+        yield from self._command()
+        nbytes, content = yield from self.server.prepare_retrieve(
+            path, offset, length, eret, eret_args)
+        stats = TransferStats(path=path, requested_bytes=nbytes,
+                              started_at=env.now, streams=cfg.parallelism)
+        if handle is None:
+            handle = TransferHandle(env, path, nbytes)
+        else:
+            handle.total = nbytes
+        src = self.server.data_node
+        dst = dest_host.store_node
+        yield from self._pump_blocks(path, src, dst, nbytes, cfg, stats,
+                                     handle, record)
+        # 226 closing data connection.
+        yield from self._command()
+        name = dest_name or path
+        dest_fs.create(name, nbytes, content=content, overwrite=True)
+        self.server.finish_retrieve(path, nbytes)
+        stats.finished_at = env.now
+        handle._completed = nbytes
+        handle.done.succeed(stats)
+        return stats
+
+    def _channel_worker(self, conn: Connection, queue: List[float],
+                        failed: List[float],
+                        series_out: Optional[list],
+                        handle: TransferHandle, path: str):
+        """One data channel pulling blocks until the queue drains."""
+        moved = 0.0
+        while queue:
+            block = queue.pop()
+            rec = (RateRecorder(f"gridftp:{path}")
+                   if series_out is not None else None)
+            try:
+                flow = conn.transport.network.transfer(
+                    conn.src, conn.dst, block,
+                    cap=conn.stream.window_cap,
+                    name=f"gridftp:{path}", recorder=rec)
+                handle._active_flows.append(flow)
+                self.env.process(conn.stream.drive(flow))
+                yield from self._watch(conn, flow)
+                moved += block
+                conn.bytes_sent += block
+                conn.transfers += 1
+                handle._active_flows.remove(flow)
+                handle._completed += block
+                if rec is not None and not rec.is_empty:
+                    series_out.append(rec.close(self.env.now))
+            except FlowError as exc:
+                delivered = exc.flow.transferred if exc.flow else 0.0
+                moved += delivered
+                handle._completed += delivered
+                if exc.flow in handle._active_flows:
+                    handle._active_flows.remove(exc.flow)
+                if rec is not None and not rec.is_empty:
+                    series_out.append(rec.close(self.env.now))
+                failed.append(block - delivered)
+                conn.close()
+                return moved
+        return moved
+
+    def _watch(self, conn: Connection, flow):
+        """Stall watchdog for one block (mirrors Connection.send)."""
+        env = self.env
+        timeout = conn.params.stall_timeout
+        last_progress = flow.transferred
+        last_change = env.now
+        while flow.active:
+            tick = env.timeout(min(timeout / 4.0, 5.0))
+            yield env.any_of([flow.done, tick])
+            if flow.done.processed:
+                break
+            progress = flow.progress()
+            if progress > last_progress + 1e-9:
+                last_progress = progress
+                last_change = env.now
+            elif env.now - last_change >= timeout:
+                flow.abort(f"stalled for {timeout:.0f}s")
+                break
+        _ = flow.done.value  # raises FlowError on abort
+
+    def put(self, path: str, source_fs: FileSystem, source_host,
+            dest_name: Optional[str] = None,
+            record: bool = False,
+            handle: Optional[TransferHandle] = None,
+            config: Optional[GridFtpConfig] = None):
+        """Simulation process: STOR a local file onto the server.
+
+        Uploads are as restartable as downloads — interrupted blocks
+        are retried from restart markers, up to ``retry_limit``.
+        """
+        cfg = config or self.client.config
+        file = source_fs.stat(path)
+        yield from self._command()
+        src = source_host.store_node
+        dst = self.server.data_node
+        stats = TransferStats(path=path, requested_bytes=file.size,
+                              started_at=self.env.now,
+                              streams=cfg.parallelism)
+        if handle is None:
+            handle = TransferHandle(self.env, path, file.size)
+        else:
+            handle.total = file.size
+        yield from self._pump_blocks(path, src, dst, file.size, cfg,
+                                     stats, handle, record)
+        yield from self._command()
+        self.server.store(dest_name or path, file.size,
+                          content=file.content)
+        stats.finished_at = self.env.now
+        handle._completed = file.size
+        handle.done.succeed(stats)
+        return stats
+
+    def _pump_blocks(self, path: str, src: str, dst: str, nbytes: float,
+                     cfg: GridFtpConfig, stats: TransferStats,
+                     handle: TransferHandle, record: bool):
+        """Shared restartable block pump for RETR and STOR.
+
+        Opens ``cfg.parallelism`` data channels, drains the block queue,
+        requeues what failed, and retries with backoff until done or
+        ``retry_limit`` is exhausted (426).
+        """
+        env = self.env
+        buffer_bytes = self.client.negotiate_buffer(src, dst, cfg)
+        blocks = _make_blocks(nbytes, cfg.parallelism)
+        completed = 0.0
+        attempts = 0
+        while blocks:
+            if handle.aborted:
+                raise GridFtpError(FtpReply(TRANSFER_ABORTED,
+                                            handle.abort_reason))
+            try:
+                channels = yield from self.client._open_channels(
+                    src, dst, cfg, buffer_bytes)
+            except GridFtpError as exc:
+                # Path currently unreachable (e.g. mid-outage): that is a
+                # transient condition — back off and retry like any other
+                # interrupted attempt.
+                if not exc.transient:
+                    raise
+                channels = []
+            if not channels:
+                attempts += 1
+                stats.restarts += 1
+                stats.faults.append((env.now, "no data channels"))
+                if attempts > cfg.retry_limit:
+                    raise GridFtpError(FtpReply(
+                        TRANSFER_ABORTED,
+                        f"{path}: cannot open data channels to {dst} "
+                        f"after {attempts} attempts"))
+                yield env.timeout(cfg.retry_backoff)
+                continue
+            stats.channel_reused = stats.channel_reused or any(
+                c.transfers > 0 for c in channels)
+            queue = list(blocks)
+            failed: List[float] = []
+            workers = [env.process(self._channel_worker(
+                conn, queue, failed, stats.series if record else None,
+                handle, path))
+                for conn in channels]
+            results = yield env.all_of(workers)
+            moved = sum(results.values())
+            completed += moved
+            stats.transferred_bytes += moved
+            # Unfinished work: blocks whose channel died, plus blocks no
+            # channel ever pulled (every channel died).
+            blocks = failed + queue
+            for conn in channels:
+                if conn.open:
+                    self.client._release_channel(conn, cfg)
+            if blocks:
+                attempts += 1
+                stats.restarts += 1
+                stats.faults.append((env.now, f"{len(blocks)} blocks lost"))
+                if handle.aborted:
+                    raise GridFtpError(FtpReply(TRANSFER_ABORTED,
+                                                handle.abort_reason))
+                if attempts > cfg.retry_limit:
+                    raise GridFtpError(FtpReply(
+                        TRANSFER_ABORTED,
+                        f"{path}: {completed:.0f}/{nbytes:.0f}B after "
+                        f"{attempts} attempts"))
+                yield env.timeout(cfg.retry_backoff)
+
+
+class GridFtpClient:
+    """Factory for sessions; owns config, credentials, and channel cache.
+
+    Parameters
+    ----------
+    env, transport:
+        Simulation environment and transport layer.
+    registry:
+        hostname → :class:`GridFtpServer` (the simulated "network" of
+        grid-enabled endpoints).
+    credential_chain:
+        The user's (proxy) credential chain for GSI.
+    config:
+        Default :class:`GridFtpConfig` for transfers.
+    """
+
+    def __init__(self, env: Environment, transport: Transport,
+                 registry: Dict[str, GridFtpServer],
+                 credential_chain: tuple = (),
+                 config: Optional[GridFtpConfig] = None,
+                 client_name: str = "client"):
+        self.env = env
+        self.transport = transport
+        self.registry = registry
+        self.credential_chain = credential_chain
+        self.config = config or GridFtpConfig()
+        self.client_name = client_name
+        self.channel_cache = DataChannelCache(env)
+        self._stream_serial = 0
+
+    # -- session management ---------------------------------------------------
+    def connect(self, client_host, hostname: str,
+                config: Optional[GridFtpConfig] = None):
+        """Simulation process: open an authenticated control session."""
+        server = self.registry.get(hostname)
+        if server is None:
+            raise GridFtpError(FtpReply(CANT_OPEN_DATA,
+                                        f"unknown server {hostname!r}"))
+        cfg = config or self.config
+        try:
+            control = yield from self.transport.connect(
+                client_host.node, hostname,
+                TcpParams(stall_timeout=cfg.stall_timeout))
+        except ConnectionRefused as exc:
+            raise GridFtpError(FtpReply(CANT_OPEN_DATA, str(exc))) from exc
+        rtt = self.transport.network.topology.rtt(
+            client_host.node, server.control_node)
+        try:
+            subjects = yield from server.authenticate(
+                self.credential_chain, rtt)
+        except AuthenticationError as exc:
+            control.close()
+            raise GridFtpError(FtpReply(530, str(exc))) from exc
+        return ClientSession(self, server, control, subjects)
+
+    # -- data channel pool --------------------------------------------------------
+    def negotiate_buffer(self, src: str, dst: str,
+                         cfg: GridFtpConfig) -> float:
+        """SBUF value: explicit, or the path's bandwidth–delay product."""
+        if cfg.buffer_bytes is not None:
+            return cfg.buffer_bytes
+        topo = self.transport.network.topology
+        rtt = topo.rtt(src, dst)
+        bottleneck = topo.bottleneck_capacity(src, dst)
+        return max(bdp_buffer_size(bottleneck, rtt), 64 * 1024.0)
+
+    def _open_channels(self, src: str, dst: str, cfg: GridFtpConfig,
+                       buffer_bytes: float):
+        """Simulation process: acquire ``cfg.parallelism`` data channels."""
+        channels: List[Connection] = []
+        needed = cfg.parallelism
+        if cfg.channel_caching:
+            while len(channels) < needed:
+                cached = self.channel_cache.acquire(src, dst)
+                if cached is None:
+                    break
+                channels.append(cached)
+        params = TcpParams(buffer_bytes=buffer_bytes,
+                           stall_timeout=cfg.stall_timeout,
+                           loss_rate=cfg.loss_rate)
+        while len(channels) < needed:
+            try:
+                # A unique stream counter keeps loss processes on
+                # successive connections independent.
+                self._stream_serial += 1
+                conn = yield from self.transport.connect(
+                    src, dst, params,
+                    rng=self.env.rng.spawn("gridftp.loss",
+                                           self._stream_serial))
+            except ConnectionRefused as exc:
+                if channels:
+                    break  # work with what we have
+                raise GridFtpError(FtpReply(CANT_OPEN_DATA,
+                                            str(exc))) from exc
+            channels.append(conn)
+        return channels
+
+    def _release_channel(self, conn: Connection, cfg: GridFtpConfig) -> None:
+        if cfg.channel_caching:
+            self.channel_cache.release(conn)
+        else:
+            conn.close()
+
+    # -- third-party transfers -------------------------------------------------------
+    def third_party_copy(self, control_host, src_hostname: str,
+                         dst_hostname: str, path: str,
+                         dest_name: Optional[str] = None,
+                         record: bool = False,
+                         config: Optional[GridFtpConfig] = None):
+        """Simulation process: server-to-server copy under client control.
+
+        "Third-party control of data transfer that allows a user or
+        application at one site to initiate, monitor and control a data
+        transfer operation between two other sites." (§6.1)
+        """
+        cfg = config or self.config
+        src_session = yield from self.connect(control_host, src_hostname,
+                                              cfg)
+        dst_session = yield from self.connect(control_host, dst_hostname,
+                                              cfg)
+        dst_server = dst_session.server
+        try:
+            stats = yield from src_session.get(
+                path, dst_server.fs, dst_server.host,
+                dest_name=dest_name, record=record, config=cfg)
+        finally:
+            src_session.close()
+            dst_session.close()
+        return stats
+
+
+def _make_blocks(nbytes: float, parallelism: int) -> List[float]:
+    """Cut a transfer into a work queue of blocks.
+
+    More blocks than channels (×4) so channels that finish early keep
+    pulling work — a fluid-scale stand-in for extended-block mode.
+    """
+    if nbytes <= 0:
+        return []
+    n_blocks = max(1, parallelism * _BLOCKS_PER_CHANNEL)
+    if nbytes / n_blocks < _MIN_BLOCK:
+        n_blocks = max(1, int(nbytes // _MIN_BLOCK))
+    block = nbytes / n_blocks
+    blocks = [block] * n_blocks
+    # Fix rounding drift on the last block.
+    blocks[-1] = nbytes - block * (n_blocks - 1)
+    return blocks

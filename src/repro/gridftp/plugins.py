@@ -1,0 +1,131 @@
+"""Standard server-side processing (ERET) plug-ins.
+
+§6.1: "Server side processing that allows for the inclusion of user
+written code that can process the data prior to transmission or
+storage. Partial file retrieval is included by default."
+
+§9 (ESG-II): "distribution of data analysis and visualization
+pipelines, so that some data analysis operations (at least extraction
+and subsetting, similar to those available with DODS) can be performed
+local to the data before it is transferred over the network."
+
+These plug-ins give GridFTP servers exactly that: SDBF-aware
+extraction, subsetting, and time reduction executed at the data, so
+only the derived product crosses the WAN.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.ncformat import decode, encode
+from repro.data.variables import DataError, Dataset, Variable
+from repro.storage.filesystem import FileObject
+
+
+class PluginError(Exception):
+    """A server-side processing step failed."""
+
+
+def _require_dataset(file: FileObject) -> Dataset:
+    if file.content is None:
+        raise PluginError(f"{file.name}: no content to process "
+                          f"(size-only synthetic file)")
+    try:
+        return decode(file.content)
+    except Exception as exc:
+        raise PluginError(f"{file.name}: not an SDBF file: {exc}") from exc
+
+
+def subset_plugin(file: FileObject, args: dict) -> Tuple[float, bytes]:
+    """Coordinate-range subsetting, DODS-style, at the server.
+
+    ``args``: ``{"variable": name, "<dim>": (lo, hi), ...}``. Returns
+    the re-encoded subset.
+    """
+    variable = args.get("variable")
+    if not variable:
+        raise PluginError("subset: 'variable' argument required")
+    ds = _require_dataset(file)
+    ranges = {k: tuple(v) for k, v in args.items()
+              if k != "variable"}
+    try:
+        sub = ds.subset(variable, **ranges)
+    except DataError as exc:
+        raise PluginError(f"subset: {exc}") from exc
+    blob = encode(sub)
+    return float(len(blob)), blob
+
+
+def extract_variable_plugin(file: FileObject,
+                            args: dict) -> Tuple[float, bytes]:
+    """Ship one variable (with its coordinates), dropping the rest."""
+    variable = args.get("variable")
+    if not variable:
+        raise PluginError("extract: 'variable' argument required")
+    ds = _require_dataset(file)
+    if variable not in ds:
+        raise PluginError(f"extract: no variable {variable!r}")
+    out = Dataset(f"{ds.name}:{variable}", dict(ds.attrs))
+    var = ds[variable]
+    for dim in var.dims:
+        out.add_coord(dim, ds.coords[dim])
+    out.add_variable(Variable(var.name, var.dims, var.data,
+                              dict(var.attrs)))
+    blob = encode(out)
+    return float(len(blob)), blob
+
+
+def time_mean_plugin(file: FileObject, args: dict) -> Tuple[float, bytes]:
+    """Reduce over time at the server: ship a single mean field.
+
+    The strongest data-reduction case: a year of monthly fields becomes
+    one field (≈12× smaller), computed where the data lives.
+    """
+    variable = args.get("variable")
+    if not variable:
+        raise PluginError("time_mean: 'variable' argument required")
+    ds = _require_dataset(file)
+    if variable not in ds:
+        raise PluginError(f"time_mean: no variable {variable!r}")
+    var = ds[variable]
+    if "time" not in var.dims:
+        raise PluginError(f"time_mean: {variable!r} has no time axis")
+    axis = var.dims.index("time")
+    mean = var.data.mean(axis=axis)
+    out = Dataset(f"{ds.name}:{variable}:tmean", dict(ds.attrs))
+    kept_dims = tuple(d for d in var.dims if d != "time")
+    for dim in kept_dims:
+        out.add_coord(dim, ds.coords[dim])
+    out.add_variable(Variable(variable, kept_dims, mean,
+                              dict(var.attrs)))
+    blob = encode(out)
+    return float(len(blob)), blob
+
+
+def checksum_plugin(file: FileObject, args: dict) -> Tuple[float, bytes]:
+    """Ship a tiny integrity digest instead of the data (ESTO-style)."""
+    import hashlib
+    if file.content is not None:
+        digest = hashlib.sha256(file.content).hexdigest()
+    else:
+        digest = hashlib.sha256(
+            f"{file.name}:{file.size}".encode()).hexdigest()
+    blob = digest.encode()
+    return float(len(blob)), blob
+
+
+STANDARD_PLUGINS = {
+    "subset": subset_plugin,
+    "extract": extract_variable_plugin,
+    "time_mean": time_mean_plugin,
+    "checksum": checksum_plugin,
+}
+
+
+def install_standard_plugins(server) -> None:
+    """Register the standard plug-in set on a GridFTP server."""
+    for name, plugin in STANDARD_PLUGINS.items():
+        server.register_plugin(name, plugin)

@@ -1,0 +1,156 @@
+"""Protocol-level definitions: replies, errors, configuration, stats.
+
+GridFTP extends RFC 959 FTP; we keep the reply-code discipline (1xx
+preliminary, 2xx success, 4xx transient failure, 5xx permanent failure)
+because the client's retry logic branches on it, exactly as a real
+implementation does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class FtpReply:
+    """A control-channel reply."""
+
+    code: int
+    text: str = ""
+
+    @property
+    def is_preliminary(self) -> bool:
+        return 100 <= self.code < 200
+
+    @property
+    def is_success(self) -> bool:
+        return 200 <= self.code < 300
+
+    @property
+    def is_transient_error(self) -> bool:
+        return 400 <= self.code < 500
+
+    @property
+    def is_permanent_error(self) -> bool:
+        return self.code >= 500
+
+    def __str__(self) -> str:
+        return f"{self.code} {self.text}"
+
+
+# Reply codes used by the implementation (RFC 959 + common practice).
+OPENING_DATA = 150
+COMMAND_OK = 200
+FEATURES = 211
+FILE_STATUS = 213
+CLOSING_DATA = 226
+AUTH_OK = 234
+CANT_OPEN_DATA = 425
+TRANSFER_ABORTED = 426
+ACTION_NOT_TAKEN = 450
+FILE_UNAVAILABLE = 550
+SYNTAX_ERROR = 501
+NOT_LOGGED_IN = 530
+
+
+class GridFtpError(Exception):
+    """A command or transfer failed; carries the FTP reply."""
+
+    def __init__(self, reply: FtpReply):
+        super().__init__(str(reply))
+        self.reply = reply
+
+    @property
+    def transient(self) -> bool:
+        """True if a retry may succeed (4xx)."""
+        return self.reply.is_transient_error
+
+
+@dataclass
+class GridFtpConfig:
+    """Client-side transfer configuration.
+
+    Attributes
+    ----------
+    parallelism:
+        TCP streams per (source host → destination) pair (``OPTS RETR
+        Parallelism=N``).
+    buffer_bytes:
+        Explicit SBUF value; ``None`` negotiates the bandwidth–delay
+        product automatically (§7's sizing formula).
+    channel_caching:
+        Keep data channels (and warm TCP windows) between transfers.
+    stall_timeout:
+        Seconds of zero progress before a stream is declared dead.
+    retry_limit:
+        Restart attempts per transfer before giving up.
+    retry_backoff:
+        Seconds between restart attempts.
+    progress_poll:
+        How often monitoring samples transferred bytes ("checking the
+        file size ... every few seconds", §4).
+    loss_rate:
+        Random-loss events per second per data stream (models shared /
+        congested paths; 0 = clean path).
+    """
+
+    parallelism: int = 1
+    buffer_bytes: Optional[float] = None
+    channel_caching: bool = False
+    stall_timeout: float = 30.0
+    retry_limit: int = 10
+    retry_backoff: float = 5.0
+    progress_poll: float = 2.0
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if self.buffer_bytes is not None and self.buffer_bytes <= 0:
+            raise ValueError("buffer_bytes must be positive")
+        if self.retry_limit < 0:
+            raise ValueError("retry_limit must be >= 0")
+        if self.stall_timeout <= 0 or self.retry_backoff < 0:
+            raise ValueError("bad timeout configuration")
+        if self.progress_poll <= 0:
+            raise ValueError("progress_poll must be positive")
+        if self.loss_rate < 0:
+            raise ValueError("loss_rate must be >= 0")
+
+
+@dataclass
+class TransferStats:
+    """Outcome of one logical transfer."""
+
+    path: str
+    requested_bytes: float
+    transferred_bytes: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    streams: int = 1
+    stripes: int = 1
+    restarts: int = 0
+    replica_switches: int = 0
+    channel_reused: bool = False
+    faults: list = field(default_factory=list)
+    # Closed per-flow RateSeries (one per block actually moved); aggregate
+    # with repro.net.aggregate_series for the wire-bandwidth timeline.
+    series: list = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds from start to completion."""
+        return self.finished_at - self.started_at
+
+    @property
+    def mean_rate(self) -> float:
+        """Average goodput in bytes/s (0 for instant transfers)."""
+        return (self.transferred_bytes / self.duration
+                if self.duration > 0 else 0.0)
+
+    def __repr__(self) -> str:
+        return (f"TransferStats({self.path!r}, "
+                f"{self.transferred_bytes / 2**20:.1f} MiB in "
+                f"{self.duration:.2f}s, {self.mean_rate * 8 / 1e6:.1f} Mb/s, "
+                f"{self.streams}x{self.stripes}, restarts={self.restarts})")

@@ -1,0 +1,190 @@
+"""The GridFTP server: one per data host.
+
+The server owns a filesystem (what it serves), optional server-side
+processing plug-ins (ERET), and an optional HRM for tape-resident data —
+"the motivation for GridFTP is to provide a uniform interface to various
+storage systems" (§6.1), so the same RETR works whether the bytes are on
+disk or must first be staged from HPSS.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.gridftp.protocol import (
+    FILE_UNAVAILABLE,
+    FtpReply,
+    GridFtpError,
+    SYNTAX_ERROR,
+)
+from repro.gsi.auth import AuthenticationError, GsiContext
+from repro.hosts.host import Host
+from repro.sim.core import Environment
+from repro.storage.filesystem import FileObject, FileSystem
+from repro.storage.hrm import HierarchicalResourceManager
+
+# An ERET plugin: (file, args) -> (derived_size, derived_content|None).
+EretPlugin = Callable[[FileObject, dict], Tuple[float, Optional[bytes]]]
+
+
+class GridFtpServer:
+    """A GridFTP endpoint serving one host's filesystem.
+
+    Parameters
+    ----------
+    env, host:
+        Simulation environment and the host this server runs on.
+    filesystem:
+        The namespace served.
+    gsi:
+        Security context (None disables authentication — used by unit
+        tests and by the DODS baseline comparison).
+    credential_chain:
+        The server's certificate chain for mutual auth.
+    hrm:
+        Optional hierarchical resource manager for tape-backed files.
+    hostname:
+        DNS name clients connect to (defaults to the host's node name).
+    """
+
+    def __init__(self, env: Environment, host: Host, filesystem: FileSystem,
+                 gsi: Optional[GsiContext] = None,
+                 credential_chain: tuple = (),
+                 hrm: Optional[HierarchicalResourceManager] = None,
+                 hostname: Optional[str] = None):
+        self.env = env
+        self.host = host
+        self.fs = filesystem
+        self.gsi = gsi
+        self.credential_chain = credential_chain
+        self.hrm = hrm
+        self.hostname = hostname or host.node
+        self._plugins: Dict[str, EretPlugin] = {}
+        self.bytes_served = 0.0
+        self.transfers_served = 0
+        self.auth_failures = 0
+
+    # -- endpoints ---------------------------------------------------------
+    @property
+    def data_node(self) -> str:
+        """Topology node data flows originate from (the serving disk)."""
+        return self.host.store_node
+
+    @property
+    def control_node(self) -> str:
+        """Topology node for the control connection."""
+        return self.host.node
+
+    # -- plugins ------------------------------------------------------------
+    def register_plugin(self, name: str, plugin: EretPlugin) -> None:
+        """Install a server-side processing plug-in (ERET module)."""
+        self._plugins[name] = plugin
+
+    @property
+    def features(self) -> Tuple[str, ...]:
+        """FEAT response: supported extensions."""
+        feats = ["GSI", "PARALLEL", "SBUF", "REST STREAM", "ERET", "SPAS",
+                 "SIZE", "64BIT"]
+        feats.extend(f"ERET:{n}" for n in sorted(self._plugins))
+        return tuple(feats)
+
+    # -- command handlers (invoked by ClientSession) --------------------------
+    def authenticate(self, client_chain: tuple, rtt: float):
+        """Simulation process: GSI mutual authentication (or no-op)."""
+        if self.gsi is None:
+            return ("anonymous", self.hostname)
+        try:
+            result = yield from self.gsi.authenticate(
+                self.env, client_chain, self.credential_chain, rtt)
+        except AuthenticationError:
+            self.auth_failures += 1
+            raise
+        return result
+
+    def size(self, path: str) -> float:
+        """SIZE: the file's byte count (64-bit — no 2 GB ceiling)."""
+        file = self._find(path)
+        return file.size
+
+    def exists(self, path: str) -> bool:
+        """True if this server can produce ``path`` (disk or tape)."""
+        if self.fs.exists(path):
+            return True
+        return self.hrm is not None and self.hrm.mss.has(path)
+
+    def prepare_retrieve(self, path: str, offset: float = 0.0,
+                         length: Optional[float] = None,
+                         eret: Optional[str] = None,
+                         eret_args: Optional[dict] = None):
+        """Simulation process: make ``path`` ready to send.
+
+        Stages tape-resident files through the HRM if needed, applies any
+        ERET plug-in, validates the partial-retrieval window, and returns
+        ``(bytes_to_send, content_or_None)``.
+        """
+        file = yield from self._materialize(path)
+        content = file.content
+        size = file.size
+        if eret is not None:
+            plugin = self._plugins.get(eret)
+            if plugin is None:
+                raise GridFtpError(FtpReply(
+                    SYNTAX_ERROR, f"no ERET plugin {eret!r}"))
+            size, content = plugin(file, eret_args or {})
+            if size < 0:
+                raise GridFtpError(FtpReply(
+                    SYNTAX_ERROR, f"plugin {eret!r} returned bad size"))
+        if offset < 0 or (length is not None and length < 0):
+            raise GridFtpError(FtpReply(SYNTAX_ERROR,
+                                        "negative offset/length"))
+        if offset > size:
+            raise GridFtpError(FtpReply(
+                SYNTAX_ERROR, f"offset {offset:.0f} beyond size {size:.0f}"))
+        nbytes = (size - offset) if length is None else min(length,
+                                                            size - offset)
+        if content is not None:
+            lo = int(offset)
+            content = content[lo:lo + int(nbytes)]
+        return nbytes, content
+
+    def finish_retrieve(self, path: str, nbytes: float) -> None:
+        """Account a completed (possibly partial) send."""
+        self.bytes_served += nbytes
+        self.transfers_served += 1
+        if self.hrm is not None and not self.fs.exists(path):
+            return
+        if self.hrm is not None:
+            self.hrm.release(path)
+
+    def store(self, path: str, size: float,
+              content: Optional[bytes] = None,
+              overwrite: bool = True) -> FileObject:
+        """STOR: accept an uploaded file into the served filesystem."""
+        return self.fs.create(path, size, content=content,
+                              overwrite=overwrite)
+
+    # -- internals -------------------------------------------------------------
+    def _find(self, path: str) -> FileObject:
+        if self.fs.exists(path):
+            return self.fs.stat(path)
+        if self.hrm is not None and self.hrm.mss.has(path):
+            if self.hrm.mss.tape.has(path):
+                return self.hrm.mss.tape.lookup(path)
+        raise GridFtpError(FtpReply(FILE_UNAVAILABLE,
+                                    f"{path}: no such file"))
+
+    def _materialize(self, path: str):
+        """Ensure the file is disk-resident; returns the FileObject."""
+        if self.fs.exists(path):
+            return self.fs.stat(path)
+        if self.hrm is not None and self.hrm.mss.has(path):
+            req = self.hrm.request_stage(path)
+            file = yield req.ready
+            return file
+        raise GridFtpError(FtpReply(FILE_UNAVAILABLE,
+                                    f"{path}: no such file"))
+        yield  # pragma: no cover - makes this a generator in all paths
+
+    def __repr__(self) -> str:
+        return (f"GridFtpServer({self.hostname!r}, "
+                f"{len(self.fs)} files, hrm={self.hrm is not None})")

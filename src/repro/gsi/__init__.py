@@ -1,0 +1,34 @@
+"""Grid Security Infrastructure (GSI) stand-in.
+
+GridFTP's first listed feature is "Grid Security Infrastructure (GSI)
+support for robust and flexible authentication, integrity, and
+confidentiality" (§6.1). This package reproduces the *semantics* that the
+rest of the system depends on — certificate chains rooted at trusted CAs,
+short-lived delegated proxy credentials, and a mutual-authentication
+handshake with a real verification step and a simulated wire/crypto cost —
+using toy hash-based signatures instead of RSA/X.509.
+"""
+
+from repro.gsi.credentials import (
+    Certificate,
+    CertificateAuthority,
+    CredentialError,
+    Identity,
+    KeyPair,
+    ProxyCertificate,
+    TrustAnchors,
+)
+from repro.gsi.auth import AuthenticationError, GsiContext, SecurityPolicy
+
+__all__ = [
+    "AuthenticationError",
+    "Certificate",
+    "CertificateAuthority",
+    "CredentialError",
+    "GsiContext",
+    "Identity",
+    "KeyPair",
+    "ProxyCertificate",
+    "SecurityPolicy",
+    "TrustAnchors",
+]

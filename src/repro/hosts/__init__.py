@@ -1,0 +1,25 @@
+"""Endpoint host model.
+
+The paper's §7 observes that at gigabit rates the *CPU*, not the network,
+is the bottleneck ("the CPU was running at near 100% capacity... caused by
+the numerous interrupts that must be serviced") and that interrupt
+coalescing and jumbo frames relieve it; it also notes that the SC'2000
+servers used software RAID "to ensure that disk was not the bottleneck",
+while the Figure 8 commodity experiment *was* disk-limited.
+
+To make those effects fall out of the bandwidth allocator instead of being
+bolted on, a :class:`Host` materializes its internal bottlenecks as links
+in the topology::
+
+    store --disk--> app --cpu--> nic --line-rate--> <external node>
+
+so a disk-to-disk transfer traverses source disk, source CPU, source NIC,
+the WAN, and the destination's mirror chain — and contention at any stage
+is just link sharing.
+"""
+
+from repro.hosts.cpu import CpuModel
+from repro.hosts.disk import DiskArray, DiskSpec
+from repro.hosts.host import Host, HostSpec
+
+__all__ = ["CpuModel", "DiskArray", "DiskSpec", "Host", "HostSpec"]

@@ -1,0 +1,195 @@
+"""The directory server: a DN-keyed tree with scoped, filtered search."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.ldap.dn import DN
+from repro.ldap.filters import parse_filter
+from repro.sim.core import Environment
+
+
+class DirectoryError(Exception):
+    """Directory operation failed (missing entry, duplicate, orphan...)."""
+
+
+class Scope(enum.Enum):
+    """LDAP search scopes."""
+
+    BASE = "base"        # the base entry only
+    ONELEVEL = "one"     # immediate children
+    SUBTREE = "sub"      # base and every descendant
+
+
+class Entry:
+    """One directory entry: a DN plus multi-valued attributes."""
+
+    __slots__ = ("dn", "attributes")
+
+    def __init__(self, dn: DN, attributes: Dict[str, Iterable[str]]):
+        self.dn = dn
+        self.attributes: Dict[str, List[str]] = {
+            k.lower(): [str(v) for v in vs] if isinstance(vs, (list, tuple, set))
+            else [str(vs)]
+            for k, vs in attributes.items()}
+
+    def get(self, attr: str) -> List[str]:
+        """All values of ``attr`` (empty list if absent)."""
+        return self.attributes.get(attr.lower(), [])
+
+    def first(self, attr: str, default: Optional[str] = None) -> Optional[str]:
+        """First value of ``attr`` or ``default``."""
+        values = self.get(attr)
+        return values[0] if values else default
+
+    def __repr__(self) -> str:
+        return f"Entry({str(self.dn)!r})"
+
+
+class DirectoryServer:
+    """An in-memory LDAP-like server with a simulated cost model.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment (operations are generators costing time).
+    name:
+        Server label.
+    base_latency:
+        Per-operation round-trip cost, seconds.
+    scan_cost:
+        Additional cost per entry examined during search.
+
+    All mutation requires the parent entry to exist (except for roots),
+    mirroring real directory semantics; deletion refuses non-leaf entries
+    unless ``recursive=True``.
+    """
+
+    def __init__(self, env: Environment, name: str = "ldap",
+                 base_latency: float = 0.005, scan_cost: float = 2e-6):
+        self.env = env
+        self.name = name
+        self.base_latency = base_latency
+        self.scan_cost = scan_cost
+        self._entries: Dict[DN, Entry] = {}
+        self._children: Dict[DN, set] = {}
+        self.operations = 0  # instrumentation
+        self.entries_scanned = 0
+
+    # -- immediate (non-process) API: used by setup code -----------------------
+    def add(self, dn: Union[str, DN], attributes: Dict) -> Entry:
+        """Create an entry (parent must exist unless this is a root)."""
+        dn = DN.of(dn)
+        if dn in self._entries:
+            raise DirectoryError(f"{self.name}: entry exists: {dn}")
+        parent = dn.parent
+        if parent is not None and parent not in self._entries:
+            raise DirectoryError(f"{self.name}: no parent for {dn}")
+        entry = Entry(dn, attributes)
+        self._entries[dn] = entry
+        self._children.setdefault(dn, set())
+        if parent is not None:
+            self._children[parent].add(dn)
+        return entry
+
+    def modify(self, dn: Union[str, DN], replace: Optional[Dict] = None,
+               add_values: Optional[Dict] = None,
+               delete_attrs: Optional[Iterable[str]] = None) -> Entry:
+        """Replace / extend / delete attributes on an entry."""
+        entry = self.lookup(dn)
+        if replace:
+            for k, vs in Entry(entry.dn, replace).attributes.items():
+                entry.attributes[k] = vs
+        if add_values:
+            for k, vs in Entry(entry.dn, add_values).attributes.items():
+                entry.attributes.setdefault(k, []).extend(
+                    v for v in vs if v not in entry.attributes.get(k, []))
+        if delete_attrs:
+            for attr in delete_attrs:
+                entry.attributes.pop(attr.lower(), None)
+        return entry
+
+    def delete(self, dn: Union[str, DN], recursive: bool = False) -> None:
+        """Remove an entry (and optionally its subtree)."""
+        dn = DN.of(dn)
+        if dn not in self._entries:
+            raise DirectoryError(f"{self.name}: no entry {dn}")
+        kids = self._children.get(dn, set())
+        if kids and not recursive:
+            raise DirectoryError(f"{self.name}: {dn} has children")
+        for kid in list(kids):
+            self.delete(kid, recursive=True)
+        del self._entries[dn]
+        del self._children[dn]
+        parent = dn.parent
+        if parent is not None and parent in self._children:
+            self._children[parent].discard(dn)
+
+    def lookup(self, dn: Union[str, DN]) -> Entry:
+        """Fetch one entry by DN."""
+        dn = DN.of(dn)
+        entry = self._entries.get(dn)
+        if entry is None:
+            raise DirectoryError(f"{self.name}: no entry {dn}")
+        return entry
+
+    def exists(self, dn: Union[str, DN]) -> bool:
+        """True if the DN names an entry."""
+        return DN.of(dn) in self._entries
+
+    def children(self, dn: Union[str, DN]) -> List[Entry]:
+        """Immediate children of an entry."""
+        dn = DN.of(dn)
+        if dn not in self._entries:
+            raise DirectoryError(f"{self.name}: no entry {dn}")
+        return [self._entries[c] for c in sorted(
+            self._children[dn], key=lambda d: str(d))]
+
+    def search(self, base: Union[str, DN], scope: Scope = Scope.SUBTREE,
+               filter_text: str = "(objectclass=*)") -> List[Entry]:
+        """Scoped, filtered search (immediate form)."""
+        base = DN.of(base)
+        if base not in self._entries:
+            raise DirectoryError(f"{self.name}: search base {base} absent")
+        predicate = parse_filter(filter_text)
+        candidates = self._candidates(base, scope)
+        self.entries_scanned += len(candidates)
+        return [e for e in candidates if predicate(e.attributes)]
+
+    def _candidates(self, base: DN, scope: Scope) -> List[Entry]:
+        if scope is Scope.BASE:
+            return [self._entries[base]]
+        if scope is Scope.ONELEVEL:
+            return self.children(base)
+        out = [self._entries[base]]
+        stack = list(self._children[base])
+        while stack:
+            dn = stack.pop()
+            out.append(self._entries[dn])
+            stack.extend(self._children[dn])
+        return out
+
+    # -- timed (process) API: used by simulated components -----------------------
+    def query(self, base: Union[str, DN], scope: Scope = Scope.SUBTREE,
+              filter_text: str = "(objectclass=*)"):
+        """Simulation process: a search costing latency + scan time."""
+        self.operations += 1
+        base = DN.of(base)
+        n_candidates = (len(self._candidates(base, scope))
+                        if base in self._entries else 0)
+        yield self.env.timeout(self.base_latency
+                               + self.scan_cost * n_candidates)
+        return self.search(base, scope, filter_text)
+
+    def read(self, dn: Union[str, DN]):
+        """Simulation process: a single-entry lookup costing latency."""
+        self.operations += 1
+        yield self.env.timeout(self.base_latency)
+        return self.lookup(dn)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"DirectoryServer({self.name!r}, {len(self)} entries)"

@@ -1,0 +1,104 @@
+"""Distinguished names: parsing, hierarchy, normalization.
+
+A DN is a comma-separated sequence of ``attr=value`` RDNs, most-specific
+first: ``lf=ua.1998.01.nc, lc=CO2 1998, rc=esg``. Comparison is
+case-insensitive on attribute names and whitespace-insensitive around
+separators, as in LDAP.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+
+class DnError(ValueError):
+    """Malformed distinguished name."""
+
+
+class DN:
+    """An immutable, normalized distinguished name."""
+
+    __slots__ = ("rdns", "_norm")
+
+    def __init__(self, rdns: Iterable[Tuple[str, str]]):
+        rdns = tuple((str(a), str(v)) for a, v in rdns)
+        for attr, value in rdns:
+            if not attr or not attr.strip():
+                raise DnError("empty attribute in RDN")
+            if not value or not value.strip():
+                raise DnError(f"empty value for attribute {attr!r}")
+            if "," in value or "=" in value:
+                raise DnError(f"unescaped special character in {value!r}")
+        self.rdns = tuple((a.strip().lower(), v.strip()) for a, v in rdns)
+        self._norm = ",".join(f"{a}={v.lower()}" for a, v in self.rdns)
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "DN":
+        """Parse ``"a=b, c=d"`` into a DN."""
+        if not text or not text.strip():
+            raise DnError("empty DN")
+        rdns = []
+        for part in text.split(","):
+            if "=" not in part:
+                raise DnError(f"RDN {part!r} lacks '='")
+            attr, _, value = part.partition("=")
+            rdns.append((attr, value))
+        return cls(rdns)
+
+    @classmethod
+    def of(cls, value) -> "DN":
+        """Coerce a string or DN to a DN."""
+        if isinstance(value, DN):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        raise DnError(f"cannot make a DN from {type(value).__name__}")
+
+    def child(self, attr: str, value: str) -> "DN":
+        """A DN one level below this one."""
+        return DN(((attr, value),) + self.rdns)
+
+    # -- hierarchy -------------------------------------------------------------
+    @property
+    def parent(self) -> Optional["DN"]:
+        """The immediate ancestor, or None at the root."""
+        if len(self.rdns) <= 1:
+            return None
+        return DN(self.rdns[1:])
+
+    @property
+    def rdn(self) -> Tuple[str, str]:
+        """The most-specific (leftmost) RDN."""
+        return self.rdns[0]
+
+    def is_under(self, ancestor: "DN") -> bool:
+        """True if ``ancestor`` is a proper prefix (from the right)."""
+        n = len(ancestor.rdns)
+        if n >= len(self.rdns):
+            return False
+        return DN(self.rdns[-n:])._norm == ancestor._norm
+
+    def depth_below(self, ancestor: "DN") -> int:
+        """Levels between self and ancestor (0 = same entry)."""
+        if self._norm == ancestor._norm:
+            return 0
+        if not self.is_under(ancestor):
+            raise DnError(f"{self} is not under {ancestor}")
+        return len(self.rdns) - len(ancestor.rdns)
+
+    # -- value semantics ----------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        return isinstance(other, DN) and self._norm == other._norm
+
+    def __hash__(self) -> int:
+        return hash(self._norm)
+
+    def __len__(self) -> int:
+        return len(self.rdns)
+
+    def __str__(self) -> str:
+        return ",".join(f"{a}={v}" for a, v in self.rdns)
+
+    def __repr__(self) -> str:
+        return f"DN({str(self)!r})"

@@ -1,0 +1,171 @@
+"""Distributed/replicated directory service.
+
+§6.2: "Current design effort for the replica catalog is focused on
+support for distribution and replication of the catalog..." — the
+prototype's single LDAP server was a scaling and availability risk for
+"thousands of users".
+
+:class:`ReplicatedDirectory` implements the classic primary/replica
+design of era LDAP deployments (slapd + slurpd): all writes go to the
+primary and propagate asynchronously to read replicas on a sync period;
+reads prefer the lowest-latency *healthy* server, so a replica can be
+consulted while the primary is down (writes then fail — single-master
+semantics), and replicas can serve stale entries between syncs, which
+tests and benches can observe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.ldap.directory import DirectoryError, DirectoryServer, Scope
+from repro.ldap.dn import DN
+from repro.sim.core import Environment
+
+
+class ReplicatedDirectory:
+    """Single-master replication over several :class:`DirectoryServer`.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    primary:
+        The master server (all writes).
+    replicas:
+        Read replicas, synced every ``sync_interval`` seconds.
+    sync_interval:
+        Replication period.
+    health:
+        Optional callable ``(server) -> bool``; unhealthy servers are
+        skipped by reads (default: always healthy). Wire this to fault
+        state to model an LDAP host outage.
+    """
+
+    def __init__(self, env: Environment, primary: DirectoryServer,
+                 replicas: Optional[List[DirectoryServer]] = None,
+                 sync_interval: float = 30.0,
+                 health: Optional[Callable[[DirectoryServer], bool]] = None):
+        if sync_interval <= 0:
+            raise ValueError("sync_interval must be positive")
+        self.env = env
+        self.primary = primary
+        self.replicas = list(replicas or [])
+        self.sync_interval = sync_interval
+        self.health = health or (lambda server: True)
+        self._pending: List[Tuple[str, tuple]] = []  # replication log
+        self.syncs = 0
+        self.replicated_ops = 0
+        self._running = False
+
+    # -- replication machinery ----------------------------------------------
+    def start(self) -> None:
+        """Begin the periodic sync process (idempotent)."""
+        if not self._running and self.replicas:
+            self._running = True
+            self.env.process(self._sync_loop())
+
+    def _sync_loop(self):
+        while True:
+            yield self.env.timeout(self.sync_interval)
+            self.sync_now()
+
+    def sync_now(self) -> int:
+        """Apply the pending write log to every replica; returns count."""
+        applied = 0
+        for op, args in self._pending:
+            for replica in self.replicas:
+                self._apply(replica, op, args)
+            applied += 1
+            self.replicated_ops += 1
+        self._pending.clear()
+        self.syncs += 1
+        return applied
+
+    @staticmethod
+    def _apply(server: DirectoryServer, op: str, args: tuple) -> None:
+        try:
+            if op == "add":
+                dn, attrs = args
+                server.add(dn, {k: list(v) for k, v in attrs.items()})
+            elif op == "modify":
+                dn, replace, add_values, delete_attrs = args
+                server.modify(dn, replace=replace, add_values=add_values,
+                              delete_attrs=delete_attrs)
+            elif op == "delete":
+                (dn, recursive) = args
+                server.delete(dn, recursive=recursive)
+        except DirectoryError:
+            # Replays against an already-converged replica are no-ops;
+            # real slurpd tolerated these the same way.
+            pass
+
+    @property
+    def lag(self) -> int:
+        """Writes not yet propagated to replicas."""
+        return len(self._pending)
+
+    # -- write API (single master) ---------------------------------------------
+    def add(self, dn: Union[str, DN], attributes: dict):
+        """Write to the primary; queued for replication."""
+        if not self.health(self.primary):
+            raise DirectoryError("primary directory is unavailable "
+                                 "(single-master: writes blocked)")
+        entry = self.primary.add(dn, attributes)
+        self._pending.append(("add", (DN.of(dn), dict(entry.attributes))))
+        return entry
+
+    def modify(self, dn: Union[str, DN], replace: Optional[dict] = None,
+               add_values: Optional[dict] = None,
+               delete_attrs: Optional[list] = None):
+        """Modify on the primary; queued for replication."""
+        if not self.health(self.primary):
+            raise DirectoryError("primary directory is unavailable")
+        entry = self.primary.modify(dn, replace=replace,
+                                    add_values=add_values,
+                                    delete_attrs=delete_attrs)
+        self._pending.append(("modify", (DN.of(dn), replace, add_values,
+                                         delete_attrs)))
+        return entry
+
+    def delete(self, dn: Union[str, DN], recursive: bool = False) -> None:
+        """Delete on the primary; queued for replication."""
+        if not self.health(self.primary):
+            raise DirectoryError("primary directory is unavailable")
+        self.primary.delete(dn, recursive=recursive)
+        self._pending.append(("delete", (DN.of(dn), recursive)))
+
+    # -- read API (any healthy server) ---------------------------------------------
+    def _read_server(self) -> DirectoryServer:
+        candidates = [self.primary] + self.replicas
+        healthy = [s for s in candidates if self.health(s)]
+        if not healthy:
+            raise DirectoryError("no healthy directory server")
+        return min(healthy, key=lambda s: s.base_latency)
+
+    def lookup(self, dn: Union[str, DN]):
+        """Read from the best healthy server (may be stale)."""
+        return self._read_server().lookup(dn)
+
+    def exists(self, dn: Union[str, DN]) -> bool:
+        """Existence check on the best healthy server."""
+        return self._read_server().exists(dn)
+
+    def search(self, base: Union[str, DN], scope: Scope = Scope.SUBTREE,
+               filter_text: str = "(objectclass=*)"):
+        """Search on the best healthy server."""
+        return self._read_server().search(base, scope, filter_text)
+
+    def query(self, base: Union[str, DN], scope: Scope = Scope.SUBTREE,
+              filter_text: str = "(objectclass=*)"):
+        """Simulation process: timed search on the best healthy server."""
+        server = self._read_server()
+        result = yield from server.query(base, scope, filter_text)
+        return result
+
+    def __len__(self) -> int:
+        return len(self.primary)
+
+    def __repr__(self) -> str:
+        return (f"ReplicatedDirectory(primary={self.primary.name!r}, "
+                f"{len(self.replicas)} replicas, lag={self.lag})")

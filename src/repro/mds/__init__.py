@@ -1,0 +1,12 @@
+"""MDS: the Grid information service (GRIS/GIIS-style, LDAP-backed).
+
+The request manager never talks to NWS directly: "The request manager
+uses NWS information to select the replica...; NWS information is
+accessed by the MDS information service" (§2, §5). :class:`MdsService`
+is that indirection: NWS publishes forecasts here; consumers query here,
+paying LDAP round-trip costs.
+"""
+
+from repro.mds.service import MdsService
+
+__all__ = ["MdsService"]

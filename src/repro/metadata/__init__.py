@@ -1,0 +1,28 @@
+"""CDMS-style metadata catalog.
+
+§3: "Based on Lightweight Directory Access Protocol (LDAP), this catalog
+provides a view of data as a collection of datasets, comprised primarily
+of multidimensional data variables together with descriptive, textual
+data. ... A CDAT client ... contains the logic to query the metadata
+catalog and translate a dataset name, variable name, and spatiotemporal
+region into the logical file names stored in the replica catalog."
+
+:class:`MetadataCatalog` is that mapping: datasets with attributes and
+variables, each dataset backed by time-partitioned logical files; the
+resolve step turns (dataset, variable, time range) into the logical file
+names the replica catalog knows about.
+"""
+
+from repro.metadata.catalog import (
+    DatasetRecord,
+    MetadataCatalog,
+    MetadataError,
+    VariableRecord,
+)
+
+__all__ = [
+    "DatasetRecord",
+    "MetadataCatalog",
+    "MetadataError",
+    "VariableRecord",
+]

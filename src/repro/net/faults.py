@@ -1,0 +1,140 @@
+"""Fault injection: link, site, and DNS outages on a schedule.
+
+The SC'2000 experiment of Figure 8 encountered "a power failure for the SC
+network (SCinet), DNS problems, and backbone problems on the exhibition
+floor". :class:`FaultSchedule` declares such incidents; a
+:class:`FaultInjector` executes them against the live topology, taking
+links down (stalling every flow that crosses them) and restoring them
+later, triggering reallocation each time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Literal, Optional
+
+from repro.net.dns import NameService
+from repro.net.fluid import FluidNetwork
+from repro.sim.core import Environment
+
+FaultKind = Literal["link", "site", "dns", "degrade"]
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled incident.
+
+    ``target`` names a link (kind="link"/"degrade"), a site
+    (kind="site" — every link whose ``site`` matches goes down), or is
+    ignored (kind="dns"). ``fraction`` applies to "degrade": remaining
+    capacity as a fraction of nominal. ``start`` is measured from the
+    moment the schedule is installed (not absolute simulation time).
+    """
+
+    kind: FaultKind
+    target: str
+    start: float
+    duration: float
+    fraction: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("fault needs start >= 0 and duration > 0")
+        if self.kind == "degrade" and not (0.0 <= self.fraction < 1.0):
+            raise ValueError("degrade fraction must be in [0, 1)")
+
+
+@dataclass
+class FaultSchedule:
+    """A declarative list of faults for a scenario."""
+
+    faults: List[Fault] = field(default_factory=list)
+
+    def link_outage(self, link: str, start: float, duration: float,
+                    description: str = "") -> "FaultSchedule":
+        """Take one link down for a period."""
+        self.faults.append(Fault("link", link, start, duration,
+                                 description=description))
+        return self
+
+    def site_outage(self, site: str, start: float, duration: float,
+                    description: str = "") -> "FaultSchedule":
+        """Power-failure style: every link at ``site`` goes down."""
+        self.faults.append(Fault("site", site, start, duration,
+                                 description=description))
+        return self
+
+    def dns_outage(self, start: float, duration: float,
+                   description: str = "") -> "FaultSchedule":
+        """Name resolution fails for a period."""
+        self.faults.append(Fault("dns", "", start, duration,
+                                 description=description))
+        return self
+
+    def degrade(self, link: str, start: float, duration: float,
+                fraction: float, description: str = "") -> "FaultSchedule":
+        """Reduce a link to ``fraction`` of nominal capacity for a period."""
+        self.faults.append(Fault("degrade", link, start, duration,
+                                 fraction=fraction, description=description))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultSchedule` against the live network."""
+
+    def __init__(self, env: Environment, network: FluidNetwork,
+                 name_service: Optional[NameService] = None):
+        self.env = env
+        self.network = network
+        self.name_service = name_service
+        self.log: List[tuple] = []  # (time, action, description)
+
+    def install(self, schedule: FaultSchedule) -> None:
+        """Arm every fault in ``schedule`` as a simulation process."""
+        for fault in schedule.faults:
+            if fault.kind == "dns":
+                if self.name_service is None:
+                    raise ValueError("dns fault needs a name service")
+                # NameService windows are absolute; faults are relative
+                # to install time.
+                self.name_service.add_outage(self.env.now + fault.start,
+                                             fault.duration)
+                continue
+            self.env.process(self._run_fault(fault))
+
+    def _links_for(self, fault: Fault):
+        topo = self.network.topology
+        if fault.kind in ("link", "degrade"):
+            if fault.target not in topo.links:
+                raise KeyError(f"unknown link {fault.target!r}")
+            return [topo.links[fault.target]]
+        # site outage: all links touching the site
+        links = [l for l in topo.links.values()
+                 if l.site == fault.target or l.src.site == fault.target
+                 or l.dst.site == fault.target]
+        if not links:
+            raise KeyError(f"no links at site {fault.target!r}")
+        return links
+
+    def _run_fault(self, fault: Fault):
+        links = self._links_for(fault)
+        if fault.start > 0:
+            yield self.env.timeout(fault.start)
+        for link in links:
+            if fault.kind == "degrade":
+                link.capacity = link.nominal_capacity * fault.fraction
+            else:
+                link.set_down()
+        self.log.append((self.env.now, f"{fault.kind} down",
+                         fault.description or fault.target))
+        self.network.reallocate()
+        yield self.env.timeout(fault.duration)
+        for link in links:
+            link.restore()
+        self.log.append((self.env.now, f"{fault.kind} restored",
+                         fault.description or fault.target))
+        self.network.reallocate()

@@ -1,0 +1,319 @@
+"""Fluid max-min fair bandwidth allocation over the topology.
+
+Every active :class:`Flow` gets a rate from progressive filling: all
+unfrozen flows' rates rise together until a link on their path saturates
+(its users freeze at their fair share) or the flow hits its own cap
+(TCP-window/CPU/disk ceiling, maintained by the caller). Rates therefore
+change only when flows start, finish, are aborted, change caps, or when a
+link's capacity changes — at which point :meth:`FluidNetwork.reallocate`
+recomputes the whole allocation and reschedules the next completion.
+
+This is the standard flow-level network model used when packet-level
+detail is unnecessary; the TCP behaviour the paper's results depend on
+(window limits, slow-start ramp, loss back-off) enters through per-flow
+caps managed by :class:`repro.net.tcp.TcpStream`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.net.recorder import RateRecorder, RateSeries
+from repro.net.topology import Link
+from repro.sim.core import Environment
+from repro.sim.events import Event
+
+_EPS_BYTES = 1e-3
+_EPS_RATE = 1e-9
+
+
+class FlowError(Exception):
+    """A flow was aborted before completing."""
+
+    def __init__(self, message: str, flow: Optional["Flow"] = None):
+        super().__init__(message)
+        self.flow = flow
+
+
+class Flow:
+    """One fluid data stream crossing a fixed path.
+
+    Created via :meth:`FluidNetwork.transfer`; the ``done`` event fires
+    with the flow itself when the last byte is delivered, or fails with
+    :class:`FlowError` when aborted.
+    """
+
+    _ids = itertools.count(1)
+
+    __slots__ = ("id", "name", "path", "size", "remaining", "cap", "rate",
+                 "done", "recorder", "started_at", "finished_at", "_network")
+
+    def __init__(self, network: "FluidNetwork", name: str, path: List[Link],
+                 size: float, cap: float, recorder: Optional[RateRecorder]):
+        self.id = next(Flow._ids)
+        self.name = name or f"flow-{self.id}"
+        self.path = path
+        self.size = float(size)
+        self.remaining = float(size)
+        self.cap = float(cap)
+        self.rate = 0.0
+        self.done: Event = Event(network.env)
+        self.recorder = recorder
+        self.started_at = network.env.now
+        self.finished_at: Optional[float] = None
+        self._network = network
+
+    @property
+    def transferred(self) -> float:
+        """Bytes delivered so far (advanced lazily at network events)."""
+        return self.size - self.remaining
+
+    @property
+    def active(self) -> bool:
+        """True while the flow is in the network."""
+        return self.finished_at is None and not self.done.triggered
+
+    def progress(self) -> float:
+        """Up-to-the-instant bytes delivered (forces a network update)."""
+        self._network._update()
+        return self.transferred
+
+    def set_cap(self, cap: float) -> None:
+        """Change this flow's rate ceiling (e.g. TCP window change)."""
+        self._network.set_cap(self, cap)
+
+    def abort(self, reason: str = "aborted") -> None:
+        """Remove the flow; its ``done`` event fails with FlowError."""
+        self._network.abort(self, reason)
+
+    def __repr__(self) -> str:
+        return (f"Flow({self.name!r}, {self.transferred:.0f}/{self.size:.0f}B"
+                f" @ {self.rate * 8 / 1e6:.1f}Mb/s)")
+
+
+class FluidNetwork:
+    """Event-driven fluid bandwidth sharing over a :class:`Topology`.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    topology:
+        The link graph; capacities are read live at each reallocation.
+    """
+
+    def __init__(self, env: Environment, topology) -> None:
+        self.env = env
+        self.topology = topology
+        self.flows: List[Flow] = []
+        self._last_update = env.now
+        self._timer_version = 0
+        self.reallocations = 0  # instrumentation
+
+    # -- public API ------------------------------------------------------
+    def transfer(self, src: str, dst: str, nbytes: float,
+                 cap: float = math.inf, name: str = "",
+                 recorder: Optional[RateRecorder] = None,
+                 path: Optional[List[Link]] = None) -> Flow:
+        """Start a flow of ``nbytes`` from node ``src`` to node ``dst``.
+
+        Returns the :class:`Flow`; wait on ``flow.done`` for completion.
+        A zero-byte transfer completes immediately.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if path is None:
+            path = self.topology.path(src, dst)
+        flow = Flow(self, name, path, nbytes, cap, recorder)
+        if nbytes == 0:
+            flow.finished_at = self.env.now
+            flow.done.succeed(flow)
+            return flow
+        self._update()
+        self.flows.append(flow)
+        for link in path:
+            link._flows.add(flow)
+        self.reallocate()
+        return flow
+
+    def set_cap(self, flow: Flow, cap: float) -> None:
+        """Change ``flow``'s ceiling and reallocate."""
+        if not flow.active:
+            return
+        self._update()
+        flow.cap = float(cap)
+        self.reallocate()
+
+    def abort(self, flow: Flow, reason: str = "aborted") -> None:
+        """Remove ``flow``; its waiters see a :class:`FlowError`."""
+        if not flow.active:
+            return
+        self._update()
+        self._detach(flow)
+        flow.finished_at = self.env.now
+        if flow.recorder is not None:
+            flow.recorder.record(self.env.now, 0.0)
+        flow.done.fail(FlowError(reason, flow))
+        self.reallocate()
+
+    def reallocate(self) -> None:
+        """Recompute all rates (call after any capacity change)."""
+        self._update()
+        self._assign_rates()
+        self._schedule_next_completion()
+
+    def flows_on(self, link: Link) -> Iterable[Flow]:
+        """Flows currently crossing ``link``."""
+        return tuple(link._flows)
+
+    @property
+    def aggregate_rate(self) -> float:
+        """Sum of all current flow rates (bytes/s)."""
+        return sum(f.rate for f in self.flows)
+
+    def snapshot(self) -> dict:
+        """Diagnostic view: per-link utilization and flow placement.
+
+        Returns ``{"t", "flows", "links"}`` where links maps link name →
+        (used_bytes_per_s, capacity, n_flows) for links carrying traffic.
+        The transfer monitor and debugging sessions use this to see where
+        the bottleneck currently sits.
+        """
+        self._update()
+        links = {}
+        for flow in self.flows:
+            for link in flow.path:
+                used, cap, n = links.get(link.name,
+                                         (0.0, link.capacity, 0))
+                links[link.name] = (used + flow.rate, link.capacity,
+                                    n + 1)
+        return {
+            "t": self.env.now,
+            "flows": [(f.name, f.rate, f.remaining) for f in self.flows],
+            "links": links,
+        }
+
+    def bottlenecks(self, threshold: float = 0.98) -> list:
+        """Names of links whose carried load ≥ threshold × capacity."""
+        snap = self.snapshot()
+        return sorted(name for name, (used, cap, _n)
+                      in snap["links"].items()
+                      if cap > 0 and used >= threshold * cap)
+
+    # -- internals -----------------------------------------------------------
+    def _update(self) -> None:
+        """Advance byte counts to the current time; retire finished flows."""
+        now = self.env.now
+        dt = now - self._last_update
+        if dt < 0:
+            raise RuntimeError("network clock went backwards")
+        finished: List[Flow] = []
+        if dt > 0:
+            for flow in self.flows:
+                if flow.rate > 0:
+                    flow.remaining -= flow.rate * dt
+                    if flow.remaining <= _EPS_BYTES:
+                        flow.remaining = 0.0
+                        finished.append(flow)
+        self._last_update = now
+        for flow in finished:
+            self._detach(flow)
+            flow.finished_at = now
+            flow.rate = 0.0
+            if flow.recorder is not None:
+                flow.recorder.record(now, 0.0)
+            flow.done.succeed(flow)
+
+    def _detach(self, flow: Flow) -> None:
+        try:
+            self.flows.remove(flow)
+        except ValueError:
+            pass
+        for link in flow.path:
+            link._flows.discard(flow)
+
+    def _assign_rates(self) -> None:
+        """Progressive-filling max-min fairness with per-flow caps."""
+        self.reallocations += 1
+        now = self.env.now
+        active = [f for f in self.flows]
+        rates: Dict[int, float] = {f.id: 0.0 for f in active}
+        # Residual capacity per involved link.
+        residual: Dict[str, float] = {}
+        link_flows: Dict[str, List[Flow]] = {}
+        for f in active:
+            for link in f.path:
+                if link.name not in residual:
+                    residual[link.name] = link.capacity
+                    link_flows[link.name] = []
+                link_flows[link.name].append(f)
+        unfrozen = set()
+        for f in active:
+            # A flow through a dead link, or with a zero cap, stays at 0.
+            if f.cap <= _EPS_RATE or any(
+                    residual[l.name] <= _EPS_RATE for l in f.path):
+                continue
+            unfrozen.add(f.id)
+        active_count: Dict[str, int] = {
+            name: sum(1 for f in fl if f.id in unfrozen)
+            for name, fl in link_flows.items()}
+        guard = 0
+        while unfrozen:
+            guard += 1
+            if guard > 10 * len(active) + 10:  # pragma: no cover
+                raise RuntimeError("progressive filling failed to converge")
+            # Largest uniform increment every unfrozen flow can take.
+            delta = math.inf
+            for name, cnt in active_count.items():
+                if cnt > 0:
+                    delta = min(delta, residual[name] / cnt)
+            for f in active:
+                if f.id in unfrozen:
+                    delta = min(delta, f.cap - rates[f.id])
+            if not math.isfinite(delta):
+                break  # only cap-unbounded flows on unconstrained links
+            delta = max(delta, 0.0)
+            for f in active:
+                if f.id in unfrozen:
+                    rates[f.id] += delta
+            for name, cnt in active_count.items():
+                residual[name] -= delta * cnt
+            # Freeze flows at their cap or on a saturated link.
+            newly_frozen = []
+            for f in active:
+                if f.id not in unfrozen:
+                    continue
+                if rates[f.id] >= f.cap - _EPS_RATE or any(
+                        residual[l.name] <= _EPS_RATE for l in f.path):
+                    newly_frozen.append(f)
+            if not newly_frozen and delta <= _EPS_RATE:
+                # No progress possible (degenerate); freeze everything.
+                newly_frozen = [f for f in active if f.id in unfrozen]
+            for f in newly_frozen:
+                unfrozen.discard(f.id)
+                for link in f.path:
+                    active_count[link.name] -= 1
+        for f in active:
+            f.rate = rates[f.id]
+            if f.recorder is not None:
+                f.recorder.record(now, f.rate)
+
+    def _schedule_next_completion(self) -> None:
+        self._timer_version += 1
+        version = self._timer_version
+        t_next = math.inf
+        for f in self.flows:
+            if f.rate > _EPS_RATE:
+                t_next = min(t_next, f.remaining / f.rate)
+        if not math.isfinite(t_next):
+            return
+        timer = self.env.timeout(max(t_next, 0.0))
+
+        def _fire(_ev, version=version):
+            if version != self._timer_version:
+                return  # superseded by a later reallocation
+            self.reallocate()
+
+        timer.add_callback(_fire)

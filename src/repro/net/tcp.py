@@ -1,0 +1,203 @@
+"""TCP stream behaviour layered on the fluid model.
+
+A :class:`TcpStream` owns the congestion state of one TCP connection and
+drives the *cap* of whatever flow is currently attached to it:
+
+- **window limit** — the cap never exceeds ``cwnd / RTT``, and ``cwnd``
+  never exceeds the negotiated buffer size. This is why the paper's §7
+  insists on setting buffers to the bandwidth–delay product.
+- **slow start** — ``cwnd`` doubles once per RTT from its initial value,
+  so short transfers on fresh connections never reach full speed (the
+  inter-transfer dips of Figure 8).
+- **loss response** — Reno-style: on a loss event, ``cwnd`` halves, then
+  regrows linearly (approximated with a few coarse steps to keep the
+  event count bounded over multi-hour simulations).
+
+The congestion window *persists across transfers* on the same stream
+object; GridFTP data-channel caching exploits exactly this.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.net.fluid import Flow
+from repro.sim.core import Environment
+
+
+def bdp_buffer_size(bandwidth: float, rtt: float) -> float:
+    """Bandwidth–delay product: ideal TCP buffer in bytes.
+
+    ``bandwidth`` is in bytes/s, ``rtt`` in seconds. The paper's §7 formula
+    (Buffer KB = Mb/s × ms × 1024/1000/8) is this same product expressed
+    in mixed units.
+    """
+    if bandwidth < 0 or rtt < 0:
+        raise ValueError("bandwidth and rtt must be non-negative")
+    return bandwidth * rtt
+
+
+@dataclass
+class TcpParams:
+    """Tunables for a TCP stream.
+
+    Attributes
+    ----------
+    mss:
+        Maximum segment size in bytes.
+    init_cwnd_segments:
+        Initial congestion window, in segments.
+    buffer_bytes:
+        Negotiated send/receive buffer: hard ceiling on ``cwnd``. The
+        64 KB default mirrors the untuned-stack default the paper warns
+        about; SC'2000 runs used 1 MB.
+    loss_rate:
+        Mean random-loss events per second on this stream (Poisson).
+    recovery_steps:
+        Number of coarse steps used to approximate linear regrowth.
+    stall_timeout:
+        Seconds of zero progress after which the transport declares the
+        connection dead (network outage → restart logic upstream).
+    """
+
+    mss: float = 1460.0
+    init_cwnd_segments: int = 2
+    buffer_bytes: float = 64 * 1024.0
+    loss_rate: float = 0.0
+    recovery_steps: int = 6
+    stall_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.mss <= 0:
+            raise ValueError("mss must be positive")
+        if self.buffer_bytes < self.mss:
+            raise ValueError("buffer must hold at least one segment")
+        if self.loss_rate < 0:
+            raise ValueError("loss_rate must be >= 0")
+        if self.recovery_steps < 1:
+            raise ValueError("recovery_steps must be >= 1")
+
+    @property
+    def init_cwnd(self) -> float:
+        """Initial congestion window in bytes."""
+        return self.init_cwnd_segments * self.mss
+
+
+class TcpStream:
+    """Congestion state for one TCP connection.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    rtt:
+        Round-trip time of the connection's path, seconds.
+    params:
+        :class:`TcpParams`.
+    rng:
+        Numpy generator for loss sampling (required if loss_rate > 0).
+    """
+
+    def __init__(self, env: Environment, rtt: float, params: TcpParams,
+                 rng: Optional[np.random.Generator] = None):
+        if rtt <= 0:
+            raise ValueError("rtt must be positive")
+        self.env = env
+        self.rtt = rtt
+        self.params = params
+        self.rng = rng
+        if params.loss_rate > 0 and rng is None:
+            raise ValueError("loss_rate > 0 requires an rng")
+        self.cwnd = params.init_cwnd
+        self.losses = 0  # instrumentation
+
+    # -- window accounting ---------------------------------------------------
+    @property
+    def window_cap(self) -> float:
+        """Current throughput ceiling, bytes/s (= cwnd / RTT)."""
+        return self.cwnd / self.rtt
+
+    @property
+    def max_window(self) -> float:
+        """Negotiated buffer: the ceiling on cwnd."""
+        return self.params.buffer_bytes
+
+    def reset(self) -> None:
+        """Return to the post-handshake state (new connection, cold window)."""
+        self.cwnd = self.params.init_cwnd
+        self.losses = 0
+
+    def _grow_slow_start(self) -> None:
+        self.cwnd = min(self.cwnd * 2.0, self.max_window)
+
+    def _on_loss(self) -> None:
+        self.losses += 1
+        self.cwnd = max(self.cwnd / 2.0, self.params.mss)
+
+    # -- cap driver ------------------------------------------------------------
+    def drive(self, flow: Flow):
+        """Simulation process: steer ``flow.cap`` while the flow lives.
+
+        Start with ``env.process(stream.drive(flow))``. The process exits
+        when the flow completes or is aborted. The window state it leaves
+        behind is reused by the next transfer on this stream (channel
+        caching); a fresh connection should call :meth:`reset` first.
+        """
+        env = self.env
+        p = self.params
+        flow.set_cap(self.window_cap)
+        next_loss = self._sample_loss_gap()
+        while flow.active:
+            in_slow_start = self.cwnd < self.max_window - 1e-9
+            if in_slow_start:
+                step = self.rtt
+            elif next_loss is not None:
+                step = next_loss
+            else:
+                return  # steady state, nothing left to schedule
+            wait = step if next_loss is None else min(step, next_loss)
+            yield env.timeout(wait)
+            if not flow.active:
+                return
+            if next_loss is not None:
+                next_loss -= wait
+            if next_loss is not None and next_loss <= 1e-12:
+                self._on_loss()
+                flow.set_cap(self.window_cap)
+                yield from self._recover(flow)
+                next_loss = self._sample_loss_gap()
+                continue
+            if in_slow_start:
+                self._grow_slow_start()
+                flow.set_cap(self.window_cap)
+
+    def _recover(self, flow: Flow):
+        """Coarse linear regrowth of cwnd back to the buffer ceiling."""
+        p = self.params
+        deficit = self.max_window - self.cwnd
+        if deficit <= 0:
+            return
+        # Linear growth: one MSS per RTT → total time to recover:
+        total_time = deficit / p.mss * self.rtt
+        step_time = total_time / p.recovery_steps
+        step_gain = deficit / p.recovery_steps
+        for _ in range(p.recovery_steps):
+            yield self.env.timeout(step_time)
+            if not flow.active:
+                return
+            self.cwnd = min(self.cwnd + step_gain, self.max_window)
+            flow.set_cap(self.window_cap)
+
+    def _sample_loss_gap(self) -> Optional[float]:
+        if self.params.loss_rate <= 0:
+            return None
+        return float(self.rng.exponential(1.0 / self.params.loss_rate))
+
+    def __repr__(self) -> str:
+        return (f"TcpStream(rtt={self.rtt * 1e3:.1f}ms, "
+                f"cwnd={self.cwnd / 1024:.0f}KB, "
+                f"cap={self.window_cap * 8 / 1e6:.1f}Mb/s)")

@@ -1,0 +1,232 @@
+"""Network topology: nodes, links, and latency-weighted routing.
+
+A :class:`Topology` is a directed multigraph. :meth:`Topology.duplex_link`
+creates the common case of a symmetric pair. Paths are computed by
+Dijkstra over link latency and cached; static routes may override the
+computation (SciNET used fixed provisioned paths).
+
+Links carry *live* capacity that fault injection can change; the fluid
+allocator reads ``Link.capacity`` at every reallocation, so a link taken
+down mid-transfer immediately stalls the flows crossing it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Node:
+    """A network attachment point (router, switch, or host interface)."""
+
+    __slots__ = ("name", "site", "kind")
+
+    def __init__(self, name: str, site: str = "", kind: str = "router"):
+        self.name = name
+        self.site = site or name
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"Node({self.name!r})"
+
+
+class Link:
+    """A unidirectional link with capacity (bytes/s) and latency (s).
+
+    ``capacity`` may be changed at runtime (fault injection, bonding);
+    users must call :meth:`FluidNetwork.reallocate` afterwards — the
+    :class:`~repro.net.faults.FaultInjector` does this automatically.
+    """
+
+    __slots__ = ("name", "src", "dst", "nominal_capacity", "capacity",
+                 "latency", "site", "_flows")
+
+    def __init__(self, name: str, src: Node, dst: Node, capacity: float,
+                 latency: float, site: str = ""):
+        if capacity < 0:
+            raise ValueError(f"link {name!r}: negative capacity")
+        if latency < 0:
+            raise ValueError(f"link {name!r}: negative latency")
+        self.name = name
+        self.src = src
+        self.dst = dst
+        self.nominal_capacity = float(capacity)
+        self.capacity = float(capacity)
+        self.latency = float(latency)
+        self.site = site or src.site
+        self._flows: set = set()
+
+    @property
+    def is_up(self) -> bool:
+        """True while the link has nonzero capacity."""
+        return self.capacity > 0
+
+    def set_down(self) -> None:
+        """Fail the link (capacity → 0)."""
+        self.capacity = 0.0
+
+    def restore(self, capacity: Optional[float] = None) -> None:
+        """Bring the link back, at ``capacity`` or its nominal value."""
+        self.capacity = self.nominal_capacity if capacity is None else float(capacity)
+
+    @property
+    def utilization_flows(self) -> int:
+        """Number of flows currently crossing this link."""
+        return len(self._flows)
+
+    def __repr__(self) -> str:
+        return (f"Link({self.name!r} {self.src.name}->{self.dst.name} "
+                f"{self.capacity * 8 / 1e6:.0f}Mb/s {self.latency * 1e3:.1f}ms)")
+
+
+class Topology:
+    """A directed multigraph of :class:`Node` and :class:`Link`."""
+
+    def __init__(self, name: str = "net"):
+        self.name = name
+        self.nodes: Dict[str, Node] = {}
+        self.links: Dict[str, Link] = {}
+        self._adj: Dict[str, List[Link]] = {}
+        self._static_routes: Dict[Tuple[str, str], List[Link]] = {}
+        self._path_cache: Dict[Tuple[str, str], List[Link]] = {}
+
+    # -- construction -------------------------------------------------------
+    def add_node(self, name: str, site: str = "", kind: str = "router") -> Node:
+        """Create (or return the existing) node called ``name``."""
+        node = self.nodes.get(name)
+        if node is None:
+            node = Node(name, site=site, kind=kind)
+            self.nodes[name] = node
+            self._adj[name] = []
+        return node
+
+    def add_link(self, src: str, dst: str, capacity: float, latency: float,
+                 name: Optional[str] = None) -> Link:
+        """Add a unidirectional link between existing or new nodes."""
+        s = self.add_node(src)
+        d = self.add_node(dst)
+        link_name = name or f"{src}->{dst}"
+        if link_name in self.links:
+            raise ValueError(f"duplicate link name {link_name!r}")
+        link = Link(link_name, s, d, capacity, latency)
+        self.links[link_name] = link
+        self._adj[src].append(link)
+        self._path_cache.clear()
+        return link
+
+    def duplex_link(self, a: str, b: str, capacity: float, latency: float,
+                    name: Optional[str] = None) -> Tuple[Link, Link]:
+        """Add a symmetric pair of links between ``a`` and ``b``."""
+        base = name or f"{a}<->{b}"
+        fwd = self.add_link(a, b, capacity, latency, name=f"{base}:fwd")
+        rev = self.add_link(b, a, capacity, latency, name=f"{base}:rev")
+        return fwd, rev
+
+    def set_static_route(self, src: str, dst: str,
+                         links: Iterable[Link]) -> None:
+        """Pin the path used from ``src`` to ``dst``."""
+        links = list(links)
+        self._validate_path(src, dst, links)
+        self._static_routes[(src, dst)] = links
+
+    # -- queries -------------------------------------------------------------
+    def path(self, src: str, dst: str) -> List[Link]:
+        """Links from ``src`` to ``dst`` (static route or min-latency).
+
+        Routing ignores *current* capacity on purpose: real IP routing
+        does not reroute around a congested or dead link at this
+        timescale, which is exactly why the paper needed restartable
+        transfers.
+        """
+        if src == dst:
+            return []
+        route = self._static_routes.get((src, dst))
+        if route is not None:
+            return route
+        cached = self._path_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        path = self._dijkstra(src, dst)
+        if path is None:
+            raise ValueError(f"no path {src!r} -> {dst!r}")
+        self._path_cache[(src, dst)] = path
+        return path
+
+    def latency(self, src: str, dst: str) -> float:
+        """One-way propagation latency along :meth:`path`."""
+        return sum(link.latency for link in self.path(src, dst))
+
+    def rtt(self, src: str, dst: str) -> float:
+        """Round-trip time between two nodes."""
+        return self.latency(src, dst) + self.latency(dst, src)
+
+    def bottleneck_capacity(self, src: str, dst: str) -> float:
+        """Smallest nominal capacity on the path."""
+        path = self.path(src, dst)
+        if not path:
+            return float("inf")
+        return min(link.nominal_capacity for link in path)
+
+    # -- internals -------------------------------------------------------------
+    def _dijkstra(self, src: str, dst: str) -> Optional[List[Link]]:
+        if src not in self.nodes or dst not in self.nodes:
+            raise KeyError(f"unknown node in path {src!r} -> {dst!r}")
+        dist: Dict[str, float] = {src: 0.0}
+        prev: Dict[str, Link] = {}
+        heap: List[Tuple[float, str]] = [(0.0, src)]
+        visited = set()
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in visited:
+                continue
+            if u == dst:
+                break
+            visited.add(u)
+            for link in self._adj[u]:
+                v = link.dst.name
+                nd = d + link.latency
+                if nd < dist.get(v, float("inf")):
+                    dist[v] = nd
+                    prev[v] = link
+                    heapq.heappush(heap, (nd, v))
+        if dst not in prev and src != dst:
+            return None
+        path: List[Link] = []
+        cur = dst
+        while cur != src:
+            link = prev[cur]
+            path.append(link)
+            cur = link.src.name
+        path.reverse()
+        return path
+
+    def _validate_path(self, src: str, dst: str, links: List[Link]) -> None:
+        if not links:
+            raise ValueError("static route needs at least one link")
+        if links[0].src.name != src or links[-1].dst.name != dst:
+            raise ValueError("static route endpoints do not match")
+        for a, b in zip(links, links[1:]):
+            if a.dst.name != b.src.name:
+                raise ValueError(
+                    f"static route discontinuous at {a.name!r} -> {b.name!r}")
+
+    def to_networkx(self):
+        """Export as a ``networkx.MultiDiGraph`` for offline analysis.
+
+        Nodes carry ``site``/``kind``; edges carry ``capacity``/
+        ``latency``/``name``. Requires networkx (an optional dev
+        dependency); the simulator itself never uses it.
+        """
+        import networkx as nx
+        g = nx.MultiDiGraph(name=self.name)
+        for node in self.nodes.values():
+            g.add_node(node.name, site=node.site, kind=node.kind)
+        for link in self.links.values():
+            g.add_edge(link.src.name, link.dst.name, key=link.name,
+                       name=link.name, capacity=link.capacity,
+                       latency=link.latency)
+        return g
+
+    def __repr__(self) -> str:
+        return (f"Topology({self.name!r}, {len(self.nodes)} nodes, "
+                f"{len(self.links)} links)")

@@ -1,0 +1,32 @@
+"""NetLogger-style instrumentation and analysis.
+
+"The graph was produced with the NetLogger system [13]" — Figure 8 is a
+bandwidth-vs-time plot assembled from distributed event logs. This
+package provides:
+
+- :class:`NetLogger` — ULM-format event records
+  (``DATE=... HOST=... PROG=... NL.EVNT=... ...``) with simulated
+  timestamps;
+- ``repro.netlogger.analysis`` — turning per-flow rate series and
+  transfer events into the binned bandwidth timeline and the summary
+  numbers (peak over a window, sustained average, total volume) that
+  Table 1 and Figure 8 report.
+"""
+
+from repro.netlogger.log import (LogRecord, NetLogger, parse_ulm,
+                                 parse_ulm_log)
+from repro.netlogger.analysis import (
+    BandwidthSummary,
+    bandwidth_timeline,
+    summarize,
+)
+
+__all__ = [
+    "BandwidthSummary",
+    "LogRecord",
+    "NetLogger",
+    "parse_ulm",
+    "parse_ulm_log",
+    "bandwidth_timeline",
+    "summarize",
+]

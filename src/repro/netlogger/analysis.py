@@ -1,0 +1,100 @@
+"""Turning raw rate series into the paper's reported numbers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.net.recorder import RateSeries, aggregate_series
+from repro.net.units import to_gbps, to_mbps
+
+
+@dataclass(frozen=True)
+class BandwidthSummary:
+    """The Table 1 measurement block for one experiment.
+
+    All rates in bytes/s; the ``*_mbps``/``*_gbps`` helpers convert for
+    reporting.
+    """
+
+    peak_100ms: float
+    peak_5s: float
+    sustained: float
+    sustained_window: float
+    total_bytes: float
+    duration: float
+
+    @property
+    def peak_100ms_gbps(self) -> float:
+        return to_gbps(self.peak_100ms)
+
+    @property
+    def peak_5s_gbps(self) -> float:
+        return to_gbps(self.peak_5s)
+
+    @property
+    def sustained_mbps(self) -> float:
+        return to_mbps(self.sustained)
+
+    @property
+    def total_gbytes(self) -> float:
+        """Total volume in decimal gigabytes (as the paper reports)."""
+        return self.total_bytes / 1e9
+
+    def rows(self) -> list:
+        """(label, value) rows in the Table 1 layout."""
+        if self.sustained_window >= 3600:
+            window = f"{self.sustained_window / 3600:.0f} hour"
+        else:
+            window = f"{self.sustained_window / 60:.0f} minutes"
+        return [
+            ("Peak transfer rate over 0.1 seconds",
+             f"{self.peak_100ms_gbps:.2f} Gbits/sec"),
+            ("Peak transfer rate over 5 seconds",
+             f"{self.peak_5s_gbps:.2f} Gbits/sec"),
+            (f"Sustained transfer rate over {window}",
+             f"{self.sustained_mbps:.1f} Mbits/sec"),
+            ("Total data transferred",
+             f"{self.total_gbytes:.1f} Gbytes"),
+        ]
+
+
+def bandwidth_timeline(series: Iterable[RateSeries],
+                       bin_seconds: float = 60.0
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Aggregate per-flow series into a binned bandwidth timeline.
+
+    Returns (bin_start_times, mean_rates) — the Figure 8 plot data.
+    """
+    agg = aggregate_series(series)
+    return agg.sample(bin_seconds)
+
+
+def summarize(series: Iterable[RateSeries],
+              sustained_window: Optional[float] = None,
+              t0: Optional[float] = None,
+              t1: Optional[float] = None) -> BandwidthSummary:
+    """Compute the Table 1 measurement block from per-flow series.
+
+    ``sustained_window`` defaults to the full [t0, t1] span; pass 3600
+    for the paper's one-hour sustained figure (the best one-hour window
+    is used).
+    """
+    agg = aggregate_series(series)
+    lo = agg.t_start if t0 is None else t0
+    hi = agg.t_end if t1 is None else t1
+    span = hi - lo
+    if span <= 0:
+        raise ValueError("empty measurement interval")
+    window = sustained_window if sustained_window is not None else span
+    sustained = (agg.peak_windowed(window) if window < span
+                 else agg.bytes_between(lo, hi) / span)
+    return BandwidthSummary(
+        peak_100ms=agg.peak_windowed(0.1),
+        peak_5s=agg.peak_windowed(5.0),
+        sustained=sustained,
+        sustained_window=window,
+        total_bytes=agg.bytes_between(lo, hi),
+        duration=span)

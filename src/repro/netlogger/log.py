@@ -1,0 +1,100 @@
+"""ULM-format event logging."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.sim.core import Environment
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One ULM event."""
+
+    t: float
+    host: str
+    prog: str
+    event: str
+    fields: Dict[str, str] = field(default_factory=dict)
+
+    def to_ulm(self) -> str:
+        """Render in NetLogger's Universal Logger Message format."""
+        parts = [f"DATE={_stamp(self.t)}", f"HOST={self.host}",
+                 f"PROG={self.prog}", f"NL.EVNT={self.event}"]
+        parts.extend(f"{k.upper()}={v}" for k, v in
+                     sorted(self.fields.items()))
+        return " ".join(parts)
+
+
+def _stamp(t: float) -> str:
+    """Simulated seconds → a sortable pseudo-timestamp."""
+    return f"{t:014.3f}"
+
+
+def parse_ulm(line: str) -> LogRecord:
+    """Parse one ULM line back into a :class:`LogRecord`.
+
+    Real NetLogger pipelines write logs on many hosts and analyze them
+    centrally; round-tripping through text is the interchange format.
+    """
+    fields = {}
+    for token in line.split():
+        if "=" not in token:
+            raise ValueError(f"malformed ULM token {token!r}")
+        key, _, value = token.partition("=")
+        fields[key] = value
+    try:
+        t = float(fields.pop("DATE"))
+        host = fields.pop("HOST")
+        prog = fields.pop("PROG")
+        event = fields.pop("NL.EVNT")
+    except KeyError as exc:
+        raise ValueError(f"missing required ULM field {exc}") from exc
+    return LogRecord(t, host, prog, event,
+                     {k.lower(): v for k, v in fields.items()})
+
+
+def parse_ulm_log(text: str) -> List[LogRecord]:
+    """Parse a whole ULM log (one record per non-empty line)."""
+    return [parse_ulm(line) for line in text.splitlines() if line.strip()]
+
+
+class NetLogger:
+    """An append-only event log shared by instrumented components."""
+
+    def __init__(self, env: Environment, host: str = "localhost",
+                 prog: str = "repro"):
+        self.env = env
+        self.default_host = host
+        self.default_prog = prog
+        self.records: List[LogRecord] = []
+
+    def event(self, name: str, host: Optional[str] = None,
+              prog: Optional[str] = None, **fields) -> LogRecord:
+        """Append one event at the current simulated time."""
+        record = LogRecord(self.env.now, host or self.default_host,
+                           prog or self.default_prog, name,
+                           {k: str(v) for k, v in fields.items()})
+        self.records.append(record)
+        return record
+
+    def select(self, event: Optional[str] = None,
+               host: Optional[str] = None) -> List[LogRecord]:
+        """Filter by event name and/or host."""
+        out = self.records
+        if event is not None:
+            out = [r for r in out if r.event == event]
+        if host is not None:
+            out = [r for r in out if r.host == host]
+        return list(out)
+
+    def dump_ulm(self) -> str:
+        """The whole log as ULM text."""
+        return "\n".join(r.to_ulm() for r in self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self.records)

@@ -1,0 +1,140 @@
+"""The NWS service: sensors → forecasters → MDS publication."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nws.forecasters import AdaptiveForecaster
+from repro.nws.sensors import NetworkSensor, ProbeResult
+from repro.net.fluid import FluidNetwork
+from repro.sim.core import Environment
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """A bandwidth/latency forecast for one (src, dst) pair."""
+
+    src: str
+    dst: str
+    bandwidth: float     # bytes/s
+    latency: float       # one-way seconds
+    measured_at: float   # simulated time of the last measurement
+    samples: int
+
+
+class NetworkWeatherService:
+    """Monitors node pairs and serves adaptive forecasts.
+
+    Parameters
+    ----------
+    env, network:
+        Simulation environment and fluid network.
+    mds:
+        Optional :class:`repro.mds.MdsService`; forecasts are published
+        there after every measurement, since "NWS information is
+        accessed by the MDS information service" (§5).
+    """
+
+    def __init__(self, env: Environment, network: FluidNetwork,
+                 mds=None, rng: Optional[np.random.Generator] = None):
+        self.env = env
+        self.network = network
+        self.mds = mds
+        self.rng = rng
+        self.sensors: Dict[Tuple[str, str], NetworkSensor] = {}
+        self._bw: Dict[Tuple[str, str], AdaptiveForecaster] = {}
+        self._lat: Dict[Tuple[str, str], AdaptiveForecaster] = {}
+        self._last: Dict[Tuple[str, str], ProbeResult] = {}
+        self._counts: Dict[Tuple[str, str], int] = {}
+        self._cpu: Dict[str, AdaptiveForecaster] = {}
+
+    # -- monitoring -------------------------------------------------------
+    def monitor(self, src: str, dst: str, period: float = 30.0,
+                probe_bytes: float = 64 * 1024.0,
+                start: bool = True) -> NetworkSensor:
+        """Begin periodic monitoring of a path."""
+        key = (src, dst)
+        if key in self.sensors:
+            return self.sensors[key]
+        sensor = NetworkSensor(self.env, self.network, src, dst,
+                               period=period, probe_bytes=probe_bytes,
+                               rng=self.rng)
+        self.sensors[key] = sensor
+        self._bw[key] = AdaptiveForecaster()
+        self._lat[key] = AdaptiveForecaster()
+        self._counts[key] = 0
+        if start:
+            self.env.process(sensor.run(self._ingest))
+        return sensor
+
+    def _ingest(self, key: Tuple[str, str], result: ProbeResult) -> None:
+        self._bw[key].update(result.bandwidth)
+        self._lat[key].update(result.latency)
+        self._last[key] = result
+        self._counts[key] += 1
+        if self.mds is not None:
+            self.mds.publish_nws(key[0], key[1], self.forecast(*key))
+
+    def observe(self, src: str, dst: str, bandwidth: float,
+                latency: float) -> None:
+        """Feed an external measurement (e.g. from a completed transfer).
+
+        Real deployments fold application transfer logs into NWS series;
+        the request manager uses this to learn from its own transfers.
+        """
+        key = (src, dst)
+        if key not in self._bw:
+            self.monitor(src, dst, start=False)
+        self._ingest(key, ProbeResult(self.env.now, bandwidth, latency))
+
+    # -- CPU monitoring -------------------------------------------------------
+    def monitor_host(self, host, period: float = 30.0) -> None:
+        """Track a host's available CPU (§5: NWS forecasts "available
+        CPU percentage for each machine that it monitors").
+
+        Forecasts are published to MDS host entries as ``cpuavail``.
+        """
+        from repro.nws.sensors import CpuSensor
+        name = host.name
+        if name in self._cpu:
+            return
+        self._cpu[name] = AdaptiveForecaster()
+        sensor = CpuSensor(self.env, host, period=period, rng=self.rng)
+
+        def sink(host_name, availability):
+            self._cpu[host_name].update(availability)
+            if self.mds is not None:
+                pred = self._cpu[host_name].predict()
+                self.mds.publish_host(host_name,
+                                      {"cpuavail": f"{pred:.4f}"})
+
+        self.env.process(sensor.run(sink))
+
+    def forecast_cpu(self, host_name: str) -> Optional[float]:
+        """Forecast available CPU fraction for a monitored host."""
+        fc = self._cpu.get(host_name)
+        return None if fc is None else fc.predict()
+
+    # -- queries ------------------------------------------------------------
+    def forecast(self, src: str, dst: str) -> Optional[Forecast]:
+        """Current forecast for a pair, or None if never measured."""
+        key = (src, dst)
+        bw = self._bw.get(key)
+        if bw is None or bw.predict() is None:
+            return None
+        return Forecast(src=src, dst=dst,
+                        bandwidth=float(bw.predict()),
+                        latency=float(self._lat[key].predict()),
+                        measured_at=self._last[key].t,
+                        samples=self._counts[key])
+
+    def monitored_pairs(self) -> Tuple[Tuple[str, str], ...]:
+        """All (src, dst) pairs with sensors."""
+        return tuple(self.sensors)
+
+    def __repr__(self) -> str:
+        return (f"NetworkWeatherService({len(self.sensors)} sensors, "
+                f"mds={'yes' if self.mds else 'no'})")

@@ -1,0 +1,89 @@
+"""Flexible logical→physical name mappings.
+
+§6.2: "Current design effort for the replica catalog is focused on
+support for ... more flexible mappings between logical and physical
+file names."
+
+A :class:`MappingRule` maps a logical-name pattern to a physical URL
+template, so a location need not enumerate every filename ("pattern
+locations" — the design that later became the Replica Location
+Service's attribute mappings). Patterns use ``*`` wildcards; templates
+substitute captured groups as ``{1}``, ``{2}`` ... and the whole name as
+``{name}``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class MappingRule:
+    """One pattern → template rule.
+
+    >>> rule = MappingRule("pcmdi.*.nc",
+    ...                    "gsiftp://a.gov:2811/esg/{1}.nc")
+    >>> rule.map("pcmdi.run1.1995.nc")
+    'gsiftp://a.gov:2811/esg/run1.1995.nc'
+    """
+
+    pattern: str
+    template: str
+
+    def __post_init__(self) -> None:
+        if not self.pattern or not self.template:
+            raise ValueError("pattern and template required")
+        # Compile eagerly so bad rules fail at registration time; each
+        # `*` becomes a lazy capture group usable as {1}, {2}, ...
+        parts = self.pattern.split("*")
+        regex = "^" + "(.*?)".join(re.escape(p) for p in parts) + "$"
+        object.__setattr__(self, "_regex", re.compile(regex))
+
+    def matches(self, logical_name: str) -> bool:
+        """True if this rule applies to the name."""
+        return self._regex.match(logical_name) is not None
+
+    def map(self, logical_name: str) -> Optional[str]:
+        """The physical URL, or None when the pattern doesn't match."""
+        m = self._regex.match(logical_name)
+        if m is None:
+            return None
+        out = self.template.replace("{name}", logical_name)
+        for i, group in enumerate(m.groups(), start=1):
+            out = out.replace("{" + str(i) + "}", group)
+        return out
+
+
+class MappingTable:
+    """An ordered rule list: first matching rule wins."""
+
+    def __init__(self):
+        self.rules: List[MappingRule] = []
+
+    def add_rule(self, pattern: str, template: str) -> MappingRule:
+        """Append a rule."""
+        rule = MappingRule(pattern, template)
+        self.rules.append(rule)
+        return rule
+
+    def resolve(self, logical_name: str) -> Optional[str]:
+        """Physical URL for a logical name, or None."""
+        for rule in self.rules:
+            url = rule.map(logical_name)
+            if url is not None:
+                return url
+        return None
+
+    def resolve_all(self, logical_name: str) -> List[str]:
+        """Every rule's mapping (all replicas reachable by pattern)."""
+        out = []
+        for rule in self.rules:
+            url = rule.map(logical_name)
+            if url is not None and url not in out:
+                out.append(url)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.rules)

@@ -1,0 +1,36 @@
+"""The LBNL Request Manager (RM) and its transfer monitor.
+
+§4: "The Request Manager (RM) is a component designed to initiate,
+control and monitor multiple file transfers on behalf of multiple users
+concurrently. ... For each file of each request, the multi-threaded RM
+opens a separate program thread. Each thread performs ... the following
+tasks: (1) it finds all replicas for the file from the Replica Catalog
+using an LDAP protocol; (2) for each replica it consults the NWS ...;
+(3) it selects the 'best' replica based on the NWS information; (4) it
+initiates a GridFTP 'get' request to transfer the file; and (5) it
+monitors the progress of each file transfer by checking the file size of
+the file being transferred at the local site every few seconds."
+
+- :class:`RequestManager` — that per-file pipeline, one simulated
+  process ("thread") per file, with HRM staging for MSS-resident data
+  and the §7 reliability plug-in (switch replicas on low rate).
+- :class:`TransferMonitor` — the Figure 4 display: per-file progress,
+  chosen replica locations, and a message log.
+- :class:`CorbaChannel` — the CORBA-ish RPC shim CDAT uses to call the
+  RM ("The CDAT system calls the RM via a CORBA protocol that permits
+  the specification of multiple logical files").
+"""
+
+from repro.rm.rpc import CorbaChannel
+from repro.rm.request import FileRequest, FileState, RequestTicket
+from repro.rm.manager import RequestManager
+from repro.rm.monitor import TransferMonitor
+
+__all__ = [
+    "CorbaChannel",
+    "FileRequest",
+    "FileState",
+    "RequestManager",
+    "RequestTicket",
+    "TransferMonitor",
+]

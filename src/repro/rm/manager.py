@@ -1,0 +1,286 @@
+"""The request manager: the per-file replica-selection + transfer pipeline."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.gridftp.client import GridFtpClient, TransferHandle
+from repro.gridftp.protocol import GridFtpConfig, GridFtpError
+from repro.gridftp.restart import ReliabilityPolicy
+from repro.gridftp.server import GridFtpServer
+from repro.mds.service import MdsService
+from repro.net.units import mbps
+from repro.netlogger.log import NetLogger
+from repro.nws.service import NetworkWeatherService
+from repro.replica.catalog import LocationInfo, ReplicaCatalog
+from repro.replica.selection import (
+    NwsBestPolicy,
+    ReplicaCandidate,
+    SelectionPolicy,
+)
+from repro.rm.request import FileRequest, FileState, RequestTicket
+from repro.sim.core import Environment
+from repro.storage.filesystem import FileSystem
+
+
+class RequestManager:
+    """Initiates, controls, and monitors multiple file transfers.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    catalog:
+        The replica catalog (step 1 of the pipeline).
+    mds:
+        The MDS information service holding NWS forecasts (step 2).
+    client:
+        GridFTP client used for the gets (step 4).
+    registry:
+        hostname → :class:`GridFtpServer` (to reach HRMs and topology
+        nodes for forecast keys).
+    dest_host, dest_fs:
+        Where fetched files land (the user's local site).
+    policy:
+        Replica selection policy (step 3); defaults to NWS-best.
+    reliability:
+        Optional low-rate switch policy (§7's plug-in). A fresh copy is
+        used per file.
+    nws:
+        Optional NWS service; completed transfers are fed back as
+        measurements.
+    logger:
+        Optional NetLogger for ULM events.
+    """
+
+    def __init__(self, env: Environment, catalog: ReplicaCatalog,
+                 mds: MdsService, client: GridFtpClient,
+                 registry: Dict[str, GridFtpServer],
+                 dest_host, dest_fs: FileSystem,
+                 policy: Optional[SelectionPolicy] = None,
+                 reliability: Optional[ReliabilityPolicy] = None,
+                 nws: Optional[NetworkWeatherService] = None,
+                 logger: Optional[NetLogger] = None,
+                 config: Optional[GridFtpConfig] = None):
+        self.env = env
+        self.catalog = catalog
+        self.mds = mds
+        self.client = client
+        self.registry = registry
+        self.dest_host = dest_host
+        self.dest_fs = dest_fs
+        self.policy = policy or NwsBestPolicy()
+        self.reliability = reliability
+        self.nws = nws
+        self.logger = logger
+        self.config = config or GridFtpConfig()
+        self.tickets: List[RequestTicket] = []
+        self.messages: List[tuple] = []  # (t, text) — Figure 4 bottom pane
+
+    # -- public API -------------------------------------------------------
+    def submit(self, requests: List[tuple]) -> RequestTicket:
+        """Accept a multi-file request; returns a live ticket.
+
+        ``requests`` is a list of (collection, logical_file). One
+        simulated "thread" (process) runs per file, concurrently.
+        """
+        files = [FileRequest(collection=c, logical_file=f)
+                 for c, f in requests]
+        ticket = RequestTicket(self.env, files)
+        self.tickets.append(ticket)
+        workers = [self.env.process(self._file_thread(ticket, fr))
+                   for fr in files]
+        self.env.process(self._completion_watcher(ticket, workers))
+        return ticket
+
+    def request(self, requests: List[tuple]):
+        """Simulation process: submit and wait; returns the ticket.
+
+        This is the CDAT-facing entry point (call through a
+        :class:`~repro.rm.rpc.CorbaChannel`).
+        """
+        ticket = self.submit(requests)
+        yield ticket.done
+        return ticket
+
+    # -- pipeline ------------------------------------------------------------
+    def _completion_watcher(self, ticket: RequestTicket, workers):
+        yield self.env.all_of(workers)
+        # "After all the files of a request transfer successfully, the RM
+        # notifies CDAT."
+        ticket.done.succeed(ticket)
+
+    def _say(self, text: str) -> None:
+        self.messages.append((self.env.now, text))
+        if self.logger is not None:
+            self.logger.event("rm.message", prog="request-manager",
+                              text=text)
+
+    def _file_thread(self, ticket: RequestTicket, fr: FileRequest):
+        env = self.env
+        fr.started_at = env.now
+        if ticket.cancelled:
+            self._cancel(fr)
+            return
+        fr.state = FileState.SELECTING
+        # (1) replica lookup.
+        try:
+            replicas = yield from self.catalog.find_replicas(
+                fr.collection, fr.logical_file)
+        except Exception as exc:
+            self._fail(fr, f"replica lookup failed: {exc}")
+            return
+        if not replicas:
+            self._fail(fr, "no replicas registered")
+            return
+        size = self.catalog.logical_file_size(fr.collection,
+                                              fr.logical_file)
+        if size is not None:
+            fr.size = size
+        # (2)+(3) forecast and rank; then try candidates best-first, with
+        # the reliability plug-in able to force a switch mid-transfer.
+        candidates = yield from self._rank(replicas, fr)
+        self._say(f"selecting replica for {fr.logical_file}: "
+                  + ", ".join(f"{c.location.hostname}"
+                              f"@{mbps_str(c.bandwidth)}"
+                              for c in candidates))
+        last_error = "no candidate attempted"
+        for candidate in candidates:
+            if ticket.cancelled:
+                self._cancel(fr)
+                return
+            loc = candidate.location
+            if loc.hostname not in self.registry:
+                last_error = f"no server for {loc.hostname}"
+                continue
+            fr.chosen_location = loc.name
+            fr.tried_locations.append(loc.name)
+            self._say(f"transfer of {fr.logical_file} from "
+                      f"{loc.hostname} initiated")
+            ok, err = yield from self._attempt(fr, loc, ticket)
+            if ticket.cancelled and not ok:
+                self._cancel(fr)
+                return
+            if ok:
+                fr.state = FileState.DONE
+                fr.finished_at = env.now
+                self._say(f"{fr.logical_file}: complete from "
+                          f"{loc.hostname}")
+                return
+            last_error = err
+            fr.replica_switches += 1
+            self._say(f"{fr.logical_file}: switching replica after "
+                      f"{err}")
+        self._fail(fr, last_error)
+
+    def _rank(self, replicas: List[LocationInfo], fr: FileRequest):
+        candidates = []
+        for loc in replicas:
+            server = self.registry.get(loc.hostname)
+            forecast = None
+            if server is not None:
+                forecast = yield from self.mds.nws_forecast(
+                    server.host.node, self.dest_host.node)
+            if forecast is not None:
+                bandwidth, latency = forecast
+            else:
+                # Unmeasured path: fall back to a conservative constant
+                # so measured paths are preferred.
+                bandwidth, latency = mbps(1), 0.1
+            stage_wait = 0.0
+            if server is not None and server.hrm is not None \
+                    and not server.hrm.is_staged(fr.logical_file):
+                stage_wait = server.hrm.estimate_wait(fr.logical_file)
+            candidates.append(ReplicaCandidate(
+                loc, bandwidth=bandwidth, latency=latency,
+                stage_wait=stage_wait))
+        return self.policy.rank(candidates, fr.size)
+
+    def _attempt(self, fr: FileRequest, loc: LocationInfo,
+                 ticket: Optional[RequestTicket] = None):
+        """One replica attempt; returns (ok, error_text)."""
+        env = self.env
+        server = self.registry[loc.hostname]
+        handle = TransferHandle(env, fr.logical_file, fr.size)
+        if ticket is not None:
+            ticket._handles[fr.logical_file] = handle
+        policy = None
+        if self.reliability is not None:
+            policy = ReliabilityPolicy(
+                min_rate=self.reliability.min_rate,
+                grace_period=self.reliability.grace_period,
+                consecutive_samples=self.reliability.consecutive_samples)
+        if server.hrm is not None and not server.hrm.is_staged(
+                fr.logical_file) and server.hrm.mss.has(fr.logical_file):
+            fr.state = FileState.STAGING
+            self._say(f"{fr.logical_file}: staging from MSS at "
+                      f"{loc.hostname}")
+        started = env.now
+        try:
+            session = yield from self.client.connect(
+                self.dest_host, loc.hostname, self.config)
+        except GridFtpError as exc:
+            return False, f"connect failed ({exc.reply.code})"
+        transfer = env.process(session.get(
+            fr.logical_file, self.dest_fs, self.dest_host,
+            handle=handle, config=self.config, record=True))
+        # (5) monitor progress "every few seconds". A failing transfer
+        # raises at the any_of yield (AnyOf propagates child failures),
+        # so the whole monitoring loop sits inside the try.
+        poll = self.config.progress_poll
+        last_bytes = 0.0
+        try:
+            while not transfer.triggered:
+                tick = env.timeout(poll)
+                yield env.any_of([transfer, tick])
+                if transfer.triggered:
+                    break
+                done_now = handle.bytes_done()
+                if done_now > 0 and fr.state is not FileState.TRANSFERRING:
+                    fr.state = FileState.TRANSFERRING
+                fr.bytes_done = done_now
+                fr.size = max(fr.size, handle.total)
+                rate = (done_now - last_bytes) / poll
+                last_bytes = done_now
+                if policy is not None and policy.observe(
+                        env.now - started, rate):
+                    handle.abort(
+                        "reliability plug-in: rate below threshold")
+            stats = transfer.value
+        except GridFtpError as exc:
+            fr.bytes_done = handle.bytes_done()
+            session.close()
+            return False, str(exc.reply)
+        fr.bytes_done = stats.transferred_bytes
+        fr.size = stats.transferred_bytes
+        fr.restarts += stats.restarts
+        elapsed = max(env.now - started, 1e-9)
+        if self.nws is not None and stats.transferred_bytes > 0:
+            self.nws.observe(server.host.node, self.dest_host.node,
+                             stats.transferred_bytes / elapsed,
+                             self.client.transport.network.topology.rtt(
+                                 server.host.node,
+                                 self.dest_host.node) / 2)
+        if self.logger is not None:
+            self.logger.event("rm.transfer.done", prog="request-manager",
+                              file=fr.logical_file, host=loc.hostname,
+                              bytes=f"{stats.transferred_bytes:.0f}",
+                              seconds=f"{elapsed:.3f}")
+        session.close()
+        return True, ""
+
+    def _cancel(self, fr: FileRequest) -> None:
+        fr.state = FileState.CANCELLED
+        fr.finished_at = self.env.now
+        self._say(f"{fr.logical_file}: cancelled")
+
+    def _fail(self, fr: FileRequest, reason: str) -> None:
+        fr.state = FileState.FAILED
+        fr.error = reason
+        fr.finished_at = self.env.now
+        self._say(f"{fr.logical_file}: FAILED ({reason})")
+
+
+def mbps_str(bandwidth: float) -> str:
+    """bytes/s → short Mb/s label for monitor messages."""
+    return f"{bandwidth * 8 / 1e6:.0f}Mb/s"

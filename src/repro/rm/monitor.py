@@ -1,0 +1,78 @@
+"""The transfer-monitoring display (Figure 4).
+
+"a transfer-monitoring tool was developed to show the status of the
+request transfer dynamically. Each file is monitored every few seconds
+as to its current size. This information as well as the total bytes
+transferred for all file requests are displayed on the client's screen."
+
+Three panes, as in the figure: per-file progress bars on top, chosen
+replica locations in the middle, and initiation/selection messages at
+the bottom. :meth:`render` produces the text snapshot; :meth:`run`
+samples periodically and keeps history for tests/benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.rm.manager import RequestManager
+from repro.rm.request import FileState, RequestTicket
+from repro.sim.core import Environment
+
+
+class TransferMonitor:
+    """Periodic snapshots of a ticket's progress."""
+
+    def __init__(self, env: Environment, manager: RequestManager,
+                 ticket: RequestTicket, period: float = 3.0):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.env = env
+        self.manager = manager
+        self.ticket = ticket
+        self.period = period
+        self.snapshots: List[Tuple[float, float]] = []  # (t, total bytes)
+
+    # -- rendering --------------------------------------------------------
+    def render(self, bar_width: int = 30, max_messages: int = 8) -> str:
+        """A Figure 4-style text snapshot."""
+        t = self.env.now
+        lines = [f"=== Request #{self.ticket.id} at t={t:.1f}s ==="]
+        lines.append("--- File Transfer Progress ---")
+        for fr in self.ticket.files:
+            pct = 100.0 * fr.fraction
+            lines.append(
+                f"{fr.logical_file:<42} {fr.progress_bar(bar_width)} "
+                f"{pct:5.1f}%  {fr.bytes_done / 2**20:8.1f}/"
+                f"{fr.size / 2**20:8.1f} MiB  [{fr.state.value}]")
+        total = self.ticket.bytes_done
+        lines.append(f"TOTAL transferred: {total / 2**20:.1f} MiB")
+        lines.append("--- Replica Selections ---")
+        for fr in self.ticket.files:
+            if fr.chosen_location is not None:
+                lines.append(f"{fr.logical_file:<42} <- "
+                             f"{fr.chosen_location}"
+                             + (f" (after {fr.replica_switches} switch"
+                                f"{'es' if fr.replica_switches != 1 else ''})"
+                                if fr.replica_switches else ""))
+        lines.append("--- Messages ---")
+        for mt, text in self.manager.messages[-max_messages:]:
+            lines.append(f"[{mt:9.1f}s] {text}")
+        return "\n".join(lines)
+
+    # -- sampling ------------------------------------------------------------
+    def run(self):
+        """Simulation process: sample until the ticket completes."""
+        while not self.ticket.done.triggered:
+            self.snapshots.append((self.env.now, self.ticket.bytes_done))
+            tick = self.env.timeout(self.period)
+            yield self.env.any_of([self.ticket.done, tick])
+        self.snapshots.append((self.env.now, self.ticket.bytes_done))
+
+    def aggregate_rate_series(self) -> List[Tuple[float, float]]:
+        """(t, bytes/s) estimated from consecutive snapshots."""
+        out = []
+        for (t0, b0), (t1, b1) in zip(self.snapshots, self.snapshots[1:]):
+            if t1 > t0:
+                out.append((t1, (b1 - b0) / (t1 - t0)))
+        return out

@@ -1,0 +1,112 @@
+"""Request/ticket data model for the request manager."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim.core import Environment
+from repro.sim.events import Event
+
+
+class FileState(enum.Enum):
+    """Lifecycle of one file within a request."""
+
+    PENDING = "pending"
+    SELECTING = "selecting replica"
+    STAGING = "staging from tape"
+    TRANSFERRING = "transferring"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class FileRequest:
+    """One logical file within a multi-file request."""
+
+    collection: str
+    logical_file: str
+    state: FileState = FileState.PENDING
+    size: float = 0.0
+    bytes_done: float = 0.0
+    chosen_location: Optional[str] = None
+    tried_locations: List[str] = field(default_factory=list)
+    replica_switches: int = 0
+    restarts: int = 0
+    error: Optional[str] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def fraction(self) -> float:
+        """Completion fraction in [0, 1]."""
+        if self.state is FileState.DONE:
+            return 1.0
+        return self.bytes_done / self.size if self.size > 0 else 0.0
+
+    def progress_bar(self, width: int = 30) -> str:
+        """ASCII progress bar (the Figure 4 per-file rows)."""
+        filled = int(round(self.fraction * width))
+        return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+class RequestTicket:
+    """Handle for a submitted multi-file request."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, env: Environment, files: List[FileRequest]):
+        self.id = next(RequestTicket._ids)
+        self.env = env
+        self.files = files
+        self.done: Event = Event(env)
+        self.submitted_at = env.now
+        self.cancelled = False
+        # transient per-file transfer handles, maintained by the RM
+        self._handles: dict = {}
+
+    def cancel(self, reason: str = "user cancel") -> None:
+        """Stop the request: in-flight transfers abort, pending files
+        are skipped ("initiate, *control* and monitor", §4)."""
+        self.cancelled = True
+        for handle in list(self._handles.values()):
+            if not handle.done.triggered:
+                handle.abort(reason)
+
+    @property
+    def total_bytes(self) -> float:
+        """Sum of known file sizes."""
+        return sum(f.size for f in self.files)
+
+    @property
+    def bytes_done(self) -> float:
+        """Aggregate delivered bytes ("total bytes transferred for all
+        file requests are displayed", §4)."""
+        return sum(f.size if f.state is FileState.DONE else f.bytes_done
+                   for f in self.files)
+
+    @property
+    def complete(self) -> bool:
+        """True once every file has reached a terminal state."""
+        return all(f.state in (FileState.DONE, FileState.FAILED,
+                               FileState.CANCELLED)
+                   for f in self.files)
+
+    @property
+    def failed_files(self) -> List[FileRequest]:
+        return [f for f in self.files if f.state is FileState.FAILED]
+
+    def find(self, logical_file: str) -> FileRequest:
+        """Look up one file's entry."""
+        for f in self.files:
+            if f.logical_file == logical_file:
+                return f
+        raise KeyError(logical_file)
+
+    def __repr__(self) -> str:
+        done = sum(1 for f in self.files if f.state is FileState.DONE)
+        return (f"RequestTicket(#{self.id}, {done}/{len(self.files)} files, "
+                f"{self.bytes_done / 2**20:.1f} MiB)")

@@ -1,0 +1,369 @@
+"""The ESG-I multi-site testbed (Figure 1).
+
+Sites and roles, as drawn in the architecture figure:
+
+- **ANL** — GridFTP disk server; also runs the replica catalog and MDS
+  (LDAP services lived at ANL in the prototype).
+- **LBNL-PDSF** — HPSS tape archive behind an HRM, with a GridFTP
+  server on its staging disk (GSI-pftpd in the figure).
+- **LBNL-Clipper**, **NCAR**, **ISI**, **SDSC**, **LLNL** — GridFTP
+  disk servers with replica subsets (LLNL also "runs" PCMDI/CDAT).
+- **client** — the user's desktop: VCDAT, the request manager, and the
+  destination disk cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.data.synth import ClimateModelRun, monthly_files
+from repro.data.grids import GridSpec
+from repro.gridftp.client import GridFtpClient
+from repro.gridftp.protocol import GridFtpConfig
+from repro.gridftp.restart import ReliabilityPolicy
+from repro.gridftp.plugins import install_standard_plugins
+from repro.gridftp.server import GridFtpServer
+from repro.gsi.auth import GsiContext, SecurityPolicy
+from repro.gsi.credentials import CertificateAuthority, Identity, TrustAnchors
+from repro.hosts.cpu import CpuModel
+from repro.hosts.disk import DiskArray, DiskSpec
+from repro.hosts.host import Host, HostSpec
+from repro.mds.service import MdsService
+from repro.metadata.catalog import MetadataCatalog, VariableRecord
+from repro.net.dns import NameService
+from repro.net.fluid import FluidNetwork
+from repro.net.topology import Topology
+from repro.net.transport import Transport
+from repro.net.units import gbps, mbps
+from repro.netlogger.log import NetLogger
+from repro.nws.service import NetworkWeatherService
+from repro.replica.catalog import ReplicaCatalog
+from repro.replica.manager import ReplicaManager
+from repro.rm.manager import RequestManager
+from repro.sim.core import Environment
+from repro.storage.filesystem import FileSystem
+from repro.storage.hpss import MassStorageSystem
+from repro.storage.hrm import HierarchicalResourceManager
+
+_VARIABLE_RECORDS = (
+    VariableRecord("tas", "K", "surface air temperature"),
+    VariableRecord("pr", "mm/day", "precipitation"),
+    VariableRecord("clt", "%", "total cloud fraction"),
+)
+
+
+@dataclass
+class EsgSite:
+    """One storage site in the testbed."""
+
+    name: str
+    hostname: str
+    host: Host
+    server: GridFtpServer
+    fs: FileSystem
+    hrm: Optional[HierarchicalResourceManager] = None
+
+
+# (site, wan latency to the backbone in s, wan capacity)
+_SITES: List[Tuple[str, float, float]] = [
+    ("anl", 0.012, mbps(622)),
+    ("lbnl-pdsf", 0.020, mbps(622)),
+    ("lbnl-clipper", 0.020, mbps(622)),
+    ("ncar", 0.015, mbps(155)),
+    ("isi", 0.022, mbps(155)),
+    ("sdsc", 0.021, mbps(155)),
+    ("llnl", 0.019, mbps(155)),
+]
+
+
+class EsgTestbed:
+    """The full prototype stack on one simulated WAN.
+
+    Parameters
+    ----------
+    seed:
+        Random seed (probes, losses).
+    years:
+        Years of synthetic model output in the archive.
+    grid:
+        Resolution of the synthetic output (sets file sizes).
+    nws_period:
+        NWS probe period in seconds.
+    with_tape:
+        Whether LBNL-PDSF data is tape-resident behind the HRM.
+    materialize:
+        When True, files carry real SDBF bytes (analysis/visualization
+        experiments); when False they are size-only (bulk transfer
+        experiments at any scale without the RAM).
+    replicated_catalog:
+        Back the replica catalog with a primary + two read replicas
+        (§6.2's "distribution and replication of the catalog"), with a
+        30 s sync period.
+    file_size_override:
+        Force every catalog file to this size in bytes (bulk transfer
+        experiments; incompatible with ``materialize``).
+    """
+
+    def __init__(self, seed: int = 0, years: int = 1,
+                 grid: Optional[GridSpec] = None,
+                 nws_period: float = 30.0, with_tape: bool = True,
+                 materialize: bool = False,
+                 replicated_catalog: bool = False,
+                 file_size_override: Optional[float] = None,
+                 reliability: Optional[ReliabilityPolicy] = None,
+                 config: Optional[GridFtpConfig] = None):
+        self.env = Environment(seed=seed)
+        env = self.env
+        self.grid = grid or GridSpec(nlat=32, nlon=64, months=12)
+        self.topology = Topology("esg")
+        self.network = FluidNetwork(env, self.topology)
+        self.dns = NameService(env)
+        self.transport = Transport(env, self.network, self.dns)
+        self.logger = NetLogger(env, host="client", prog="esg")
+
+        # -- security fabric
+        ca = CertificateAuthority("DOE Science Grid CA")
+        self.trust = TrustAnchors()
+        self.trust.trust_ca(ca)
+        self.gsi = GsiContext(self.trust, SecurityPolicy(crypto_time=0.02))
+        self.user = Identity("/DC=org/DC=doegrids/CN=climate-user", ca,
+                             self.trust)
+
+        # -- backbone (ESnet-ish star) and sites
+        server_spec = HostSpec(
+            nic_rate=gbps(1), bus_rate=None, cpu=CpuModel(coalesce=8),
+            disk=DiskArray(DiskSpec(rate=40 * 2**20), count=4))
+        self.sites: Dict[str, EsgSite] = {}
+        self.registry: Dict[str, GridFtpServer] = {}
+        for name, latency, capacity in _SITES:
+            router = f"r-{name}"
+            self.topology.duplex_link(router, "backbone", capacity,
+                                      latency, name=f"wan-{name}")
+            host = Host(self.topology, f"{name}-gridftp", site=name,
+                        spec=server_spec)
+            host.uplink(router)
+            hostname = f"gridftp.{name}.gov"
+            self.dns.register(hostname, host.node)
+            fs = FileSystem(env, f"{name}-fs")
+            server_id = Identity(f"/CN=gridftp/{hostname}", ca, self.trust)
+            hrm = None
+            if name == "lbnl-pdsf" and with_tape:
+                mss = MassStorageSystem(env, cache_capacity=400 * 2**30,
+                                        drives=2, name="hpss-pdsf")
+                hrm = HierarchicalResourceManager(env, mss, fs,
+                                                  name="hrm-pdsf")
+            server = GridFtpServer(env, host, fs, gsi=self.gsi,
+                                   credential_chain=server_id.chain,
+                                   hrm=hrm, hostname=hostname)
+            install_standard_plugins(server)
+            self.registry[hostname] = server
+            self.sites[name] = EsgSite(name, hostname, host, server, fs,
+                                       hrm)
+
+        # -- client site (the user's desktop)
+        client_spec = HostSpec(
+            nic_rate=mbps(100), bus_rate=None, cpu=CpuModel(coalesce=4),
+            disk=DiskArray(DiskSpec(rate=20 * 2**20), count=1))
+        self.client_host = Host(self.topology, "client", site="client",
+                                spec=client_spec)
+        self.client_host.uplink("r-client")
+        self.topology.duplex_link("r-client", "backbone", mbps(100),
+                                  0.010, name="wan-client")
+        self.client_fs = FileSystem(env, "client-fs")
+
+        # -- grid services
+        if replicated_catalog:
+            from repro.ldap.directory import DirectoryServer
+            from repro.ldap.replicated import ReplicatedDirectory
+            primary = DirectoryServer(env, "rc-esg-primary",
+                                      base_latency=0.005)
+            read_replicas = [
+                DirectoryServer(env, f"rc-esg-replica{i}",
+                                base_latency=0.002)
+                for i in range(2)]
+            self.catalog_directory = ReplicatedDirectory(
+                env, primary, read_replicas, sync_interval=30.0)
+            self.catalog_directory.start()
+            self.replica_catalog = ReplicaCatalog(
+                env, directory=self.catalog_directory, name="esg")
+        else:
+            self.catalog_directory = None
+            self.replica_catalog = ReplicaCatalog(env, name="esg")
+        self.metadata_catalog = MetadataCatalog(env, name="pcmdi")
+        self.mds = MdsService(env, name="esg")
+        self.nws = NetworkWeatherService(env, self.network, mds=self.mds,
+                                         rng=env.rng.stream("nws"))
+        self.gridftp = GridFtpClient(
+            env, self.transport, self.registry,
+            credential_chain=self.user.make_proxy(env.now),
+            config=config or GridFtpConfig(parallelism=4))
+        self.replica_manager = ReplicaManager(env, self.replica_catalog,
+                                              self.gridftp)
+        self.request_manager = RequestManager(
+            env, self.replica_catalog, self.mds, self.gridftp,
+            self.registry, self.client_host, self.client_fs,
+            reliability=reliability, nws=self.nws, logger=self.logger,
+            config=config or GridFtpConfig(parallelism=4))
+
+        # -- the user's analysis tool
+        from repro.cdat.client import CdatClient
+        from repro.rm.rpc import CorbaChannel
+        self.cdat = CdatClient(env, self.metadata_catalog,
+                               self.request_manager, self.client_fs,
+                               rpc=CorbaChannel(env))
+        # -- the ESG-II lightweight client (server-side processing only)
+        from repro.cdat.portal import PortalClient
+        self.portal = PortalClient(env, self.metadata_catalog,
+                                   self.replica_catalog, self.gridftp,
+                                   self.client_host, self.registry,
+                                   mds=self.mds)
+
+        # -- content + monitoring
+        if materialize and file_size_override is not None:
+            raise ValueError("materialize and file_size_override conflict")
+        self.materialize = materialize
+        self.file_size_override = file_size_override
+        self._populate(years)
+        for site in self.sites.values():
+            self.nws.monitor(site.host.node, self.client_host.node,
+                             period=nws_period)
+
+    # -- archive population ---------------------------------------------------
+    def _populate(self, years: int) -> None:
+        """Register the synthetic archive in both catalogs and place
+        replicas: every dataset fully at LBNL (tape where enabled), with
+        partial disk replicas spread over the other sites."""
+        runs = [ClimateModelRun(model="NCAR_CSM", run="run1",
+                                grid=self.grid),
+                ClimateModelRun(model="PCM", run="B06.22", grid=self.grid)]
+        disk_sites = [s for n, s in self.sites.items()
+                      if n != "lbnl-pdsf"]
+        pdsf = self.sites["lbnl-pdsf"]
+        self.datasets = {}
+        for run_idx, run in enumerate(runs):
+            files = monthly_files(run, years,
+                                  size_override=self.file_size_override)
+            if self.materialize:
+                # Real SDBF bytes; sizes become the encoded lengths.
+                for f in files:
+                    m0, m1 = f["month_range"]
+                    blob = run.encode_months(int(f["year"]), m0, m1,
+                                             tuple(f["variables"]))
+                    f["content"] = blob
+                    f["size"] = float(len(blob))
+            self.datasets[run.dataset_id] = files
+            self.metadata_catalog.register_dataset(
+                run.dataset_id, run.model, run.run,
+                description=f"{run.model} simulation {run.run}",
+                variables=_VARIABLE_RECORDS)
+            self.metadata_catalog.register_files(run.dataset_id, files)
+            self.replica_catalog.create_collection(
+                run.dataset_id, description=f"{run.model} {run.run}")
+            names = [str(f["logical_name"]) for f in files]
+            # Complete copy at LBNL-PDSF (tape-resident when enabled).
+            for i, f in enumerate(files):
+                content = f.get("content")
+                if pdsf.hrm is not None:
+                    from repro.storage.filesystem import FileObject
+                    pdsf.hrm.mss.archive(
+                        FileObject(str(f["logical_name"]),
+                                   float(f["size"]), content=content),
+                        tape=f"T{run_idx}{i // 12}",
+                        position=(i % 12) / 12.0)
+                else:
+                    pdsf.fs.create(str(f["logical_name"]),
+                                   float(f["size"]), content=content)
+            self.replica_catalog.register_location(
+                run.dataset_id, "lbnl-pdsf", "gsiftp", pdsf.hostname,
+                2811, "/hpss/esg", files=names)
+            for f in files:
+                self.replica_catalog.register_logical_file(
+                    run.dataset_id, str(f["logical_name"]),
+                    float(f["size"]))
+            # Partial disk replicas: file i also lives at two disk sites.
+            placements: Dict[str, List[str]] = {s.name: []
+                                                for s in disk_sites}
+            for i, f in enumerate(files):
+                for k in range(2):
+                    site = disk_sites[(i + k * 3) % len(disk_sites)]
+                    site.fs.create(str(f["logical_name"]),
+                                   float(f["size"]),
+                                   content=f.get("content"))
+                    placements[site.name].append(str(f["logical_name"]))
+            for site in disk_sites:
+                if placements[site.name]:
+                    self.replica_catalog.register_location(
+                        run.dataset_id, site.name, "gsiftp",
+                        site.hostname, 2811, "/data/esg",
+                        files=placements[site.name])
+
+    # -- additional user sites ----------------------------------------------------
+    def add_client(self, name: str, downlink: float = mbps(100),
+                   latency: float = 0.010):
+        """Attach another user desktop with its own request manager.
+
+        The abstract's scaling concern — "access to, and analysis of,
+        these datasets by potentially thousands of users" — is exercised
+        by attaching many clients: they share the catalogs, MDS, and the
+        servers, but each has its own host, filesystem, GridFTP client,
+        and RM. Returns the new :class:`RequestManager`.
+        """
+        from repro.gridftp.client import GridFtpClient
+        from repro.rm.manager import RequestManager
+        spec = HostSpec(nic_rate=downlink, bus_rate=None,
+                        cpu=CpuModel(coalesce=4),
+                        disk=DiskArray(DiskSpec(rate=20 * 2**20),
+                                       count=1))
+        host = Host(self.topology, name, site=name, spec=spec)
+        host.uplink(f"r-{name}")
+        self.topology.duplex_link(f"r-{name}", "backbone", downlink,
+                                  latency, name=f"wan-{name}")
+        fs = FileSystem(self.env, f"{name}-fs")
+        client = GridFtpClient(
+            self.env, self.transport, self.registry,
+            credential_chain=self.user.make_proxy(self.env.now),
+            config=self.gridftp.config, client_name=name)
+        rm = RequestManager(
+            self.env, self.replica_catalog, self.mds, client,
+            self.registry, host, fs, nws=self.nws, logger=self.logger,
+            config=self.gridftp.config)
+        return rm
+
+    # -- ESG-II: DODS-protocol access to the same archive -----------------------
+    def enable_dods(self):
+        """Stand up DODS servers over every site's filesystem.
+
+        §9: ESG-II planned "access via DODS protocols and mechanisms";
+        the same files become reachable by URL over plain HTTP with
+        server-side constraint evaluation. Returns (servers, client).
+        """
+        from repro.baselines.dods import DodsClient, DodsServer
+        servers = {}
+        for site in self.sites.values():
+            hostname = f"dods.{site.name}.gov"
+            self.dns.register(hostname, site.host.node)
+            servers[hostname] = DodsServer(self.env, site.host, site.fs,
+                                           hostname)
+        client = DodsClient(self.env, self.transport, servers)
+        return servers, client
+
+    # -- conveniences -----------------------------------------------------------
+    def warm_nws(self, until: float = 120.0) -> None:
+        """Run the clock so NWS accumulates a few probe rounds."""
+        self.env.run(until=self.env.now + until)
+
+    def dataset_ids(self) -> List[str]:
+        """The archive's dataset identifiers."""
+        return sorted(self.datasets)
+
+    def run_process(self, gen):
+        """Drive a generator process to completion; return its value."""
+        p = self.env.process(gen)
+        self.env.run(until=p)
+        return p.value
+
+    def __repr__(self) -> str:
+        return (f"EsgTestbed({len(self.sites)} sites, "
+                f"{len(self.registry)} GridFTP servers, "
+                f"{len(self.datasets)} datasets)")

@@ -1,0 +1,169 @@
+"""The simulation environment: clock + event queue + scheduler."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional, Union
+
+from repro.sim.events import AllOf, AnyOf, Event, EventPriority, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RandomStreams
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (e.g. running a finished simulation)."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` at a target event."""
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class _CallbackEvent(Event):
+    """Internal: re-delivers a callback for an already-processed event."""
+
+    __slots__ = ("_fn", "_orig")
+
+    def __init__(self, env: "Environment", fn: Callable, orig: Event):
+        super().__init__(env)
+        self._fn = fn
+        self._orig = orig
+        self._triggered = True
+        env.schedule(self)
+
+    def _process(self) -> None:
+        self._processed = True
+        self.callbacks = None
+        self._fn(self._orig)
+
+
+class Environment:
+    """Discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock (seconds).
+    seed:
+        Seed for the environment's named random streams (``env.rng``).
+
+    Example
+    -------
+    >>> env = Environment()
+    >>> def proc(env):
+    ...     yield env.timeout(5)
+    ...     return env.now
+    >>> p = env.process(proc(env))
+    >>> env.run()
+    >>> p.value
+    5
+    """
+
+    def __init__(self, initial_time: float = 0.0, seed: int = 0):
+        self._now = float(initial_time)
+        self._queue: list = []  # (time, priority, seq, event)
+        self._seq = 0
+        self.rng = RandomStreams(seed)
+        self._active_process: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        """Event firing when every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event firing when at least one event in ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = EventPriority.NORMAL) -> None:
+        """Put a triggered event on the queue ``delay`` seconds from now."""
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, int(priority),
+                                     self._seq, event))
+
+    def schedule_callback(self, fn: Callable[[Event], None], event: Event) -> None:
+        """Schedule ``fn(event)`` to run at the current time."""
+        _CallbackEvent(self, fn, event)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        t, _prio, _seq, event = heapq.heappop(self._queue)
+        if t < self._now - 1e-12:
+            raise SimulationError(f"time went backwards: {t} < {self._now}")
+        self._now = max(self._now, t)
+        event._process()
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the event queue drains;
+            a number — run until the clock reaches that time;
+            an :class:`Event` — run until that event is processed, and
+            return its value.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            target = until
+
+            def _stop(ev: Event) -> None:
+                raise StopSimulation(ev._value if ev._exc is None else ev._exc)
+
+            target.add_callback(_stop)
+            try:
+                while self._queue:
+                    self.step()
+            except StopSimulation as stop:
+                if target._exc is not None:
+                    raise target._exc
+                return stop.value
+            raise SimulationError(
+                "event queue drained before the target event fired")
+        # numeric horizon
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"cannot run until {horizon}: clock already at {self._now}")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

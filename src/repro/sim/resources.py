@@ -1,0 +1,250 @@
+"""Shared resources for simulation processes.
+
+- :class:`Resource` — N interchangeable slots (e.g. tape drives).
+- :class:`PriorityResource` — slots granted lowest-priority-value-first.
+- :class:`Store` — a FIFO buffer of Python objects (e.g. a staging queue).
+- :class:`Container` — a continuous level (e.g. disk cache bytes).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.core import Environment
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "priority", "_seq")
+
+    def __init__(self, env: "Environment", resource: "Resource",
+                 priority: int = 0):
+        super().__init__(env)
+        self.resource = resource
+        self.priority = priority
+        self._seq = 0
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request (granted requests must release)."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """``capacity`` interchangeable slots, granted FIFO.
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        ... hold the slot ...
+        resource.release(req)
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.users: list = []
+        self._waiting: deque = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event fires when granted."""
+        req = Request(self.env, self, priority)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self._enqueue(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        """Return a previously granted slot."""
+        try:
+            self.users.remove(req)
+        except ValueError:
+            raise RuntimeError("releasing a request that holds no slot")
+        self._grant_next()
+
+    # -- queue policy (overridden by PriorityResource) ---------------------
+    def _enqueue(self, req: Request) -> None:
+        self._waiting.append(req)
+
+    def _dequeue(self) -> Optional[Request]:
+        return self._waiting.popleft() if self._waiting else None
+
+    def _cancel(self, req: Request) -> None:
+        if req in self.users:
+            raise RuntimeError("cannot cancel a granted request; release it")
+        try:
+            self._waiting.remove(req)
+        except ValueError:
+            pass
+
+    def _grant_next(self) -> None:
+        while len(self.users) < self.capacity:
+            nxt = self._dequeue()
+            if nxt is None:
+                return
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose queue is ordered by request priority.
+
+    Lower ``priority`` values are granted first; ties are FIFO.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        super().__init__(env, capacity)
+        self._heap: list = []
+        self._seq = 0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._heap)
+
+    def _enqueue(self, req: Request) -> None:
+        self._seq += 1
+        req._seq = self._seq
+        heapq.heappush(self._heap, (req.priority, req._seq, req))
+
+    def _dequeue(self) -> Optional[Request]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def _cancel(self, req: Request) -> None:
+        if req in self.users:
+            raise RuntimeError("cannot cancel a granted request; release it")
+        self._heap = [entry for entry in self._heap if entry[2] is not req]
+        heapq.heapify(self._heap)
+
+
+class Store:
+    """An unbounded-or-bounded FIFO buffer of arbitrary items."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        self.env = env
+        self.capacity = capacity
+        self.items: deque = deque()
+        self._getters: deque = deque()
+        self._putters: deque = deque()  # (event, item)
+
+    def put(self, item: Any) -> Event:
+        """Add ``item``; fires when the item has been accepted."""
+        ev = Event(self.env)
+        self._putters.append((ev, item))
+        self._settle()
+        return ev
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Remove and return the oldest item (optionally, oldest matching)."""
+        ev = Event(self.env)
+        self._getters.append((ev, predicate))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # admit queued puts while there is room
+            while self._putters and len(self.items) < self.capacity:
+                ev, item = self._putters.popleft()
+                self.items.append(item)
+                ev.succeed(item)
+                progressed = True
+            # satisfy queued gets
+            i = 0
+            while i < len(self._getters) and self.items:
+                ev, pred = self._getters[i]
+                match_idx = None
+                if pred is None:
+                    match_idx = 0
+                else:
+                    for j, candidate in enumerate(self.items):
+                        if pred(candidate):
+                            match_idx = j
+                            break
+                if match_idx is None:
+                    i += 1
+                    continue
+                item = self.items[match_idx]
+                del self.items[match_idx]
+                del self._getters[i]
+                ev.succeed(item)
+                progressed = True
+
+
+class Container:
+    """A continuous quantity with blocking put/get (e.g. cache bytes)."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf"),
+                 init: float = 0.0):
+        if init < 0 or init > capacity:
+            raise ValueError("init outside [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: deque = deque()  # (event, amount)
+        self._putters: deque = deque()
+
+    @property
+    def level(self) -> float:
+        """Current stored amount."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; fires once it fits under ``capacity``."""
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        ev = Event(self.env)
+        self._putters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Withdraw ``amount``; fires once the level covers it."""
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        ev = Event(self.env)
+        self._getters.append((ev, amount))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                ev, amount = self._putters[0]
+                if self._level + amount <= self.capacity + 1e-9:
+                    self._putters.popleft()
+                    self._level += amount
+                    ev.succeed(amount)
+                    progressed = True
+            if self._getters:
+                ev, amount = self._getters[0]
+                if self._level >= amount - 1e-9:
+                    self._getters.popleft()
+                    self._level = max(0.0, self._level - amount)
+                    ev.succeed(amount)
+                    progressed = True

@@ -1,0 +1,51 @@
+"""Named, seeded random streams.
+
+Every stochastic component draws from its own named stream so that adding a
+new consumer of randomness never perturbs the draws seen by existing ones —
+scenario results stay reproducible across code growth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+
+class RandomStreams:
+    """A registry of independent ``numpy`` generators keyed by name.
+
+    >>> rng = RandomStreams(seed=42)
+    >>> a = rng.stream("net.loss")
+    >>> b = rng.stream("nws.probe")
+    >>> a is rng.stream("net.loss")
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating if needed) the generator for ``name``."""
+        gen = self._streams.get(name)
+        if gen is None:
+            digest = hashlib.sha256(
+                f"{self.seed}:{name}".encode()).digest()
+            child_seed = int.from_bytes(digest[:8], "little")
+            gen = np.random.default_rng(child_seed)
+            self._streams[name] = gen
+        return gen
+
+    def spawn(self, name: str, index: int) -> np.random.Generator:
+        """A fresh, unregistered generator for per-entity randomness."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{name}:{index}".encode()).digest()
+        return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RandomStreams(seed={self.seed}, streams={len(self._streams)})"

@@ -1,0 +1,124 @@
+"""LRU disk cache with pinning, used as the HRM staging area."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.sim.core import Environment
+from repro.storage.filesystem import FileObject, NoSpaceError
+
+
+class DiskCache:
+    """An LRU-evicting byte cache over a staging disk.
+
+    Files being transferred are *pinned* so a burst of new staging cannot
+    evict data out from under an in-flight GridFTP stream (paper §4: HRM
+    "stages files from the MSS to its local disk cache" and the RM then
+    moves them over the WAN).
+    """
+
+    def __init__(self, env: Environment, capacity: float, name: str = "cache"):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.name = name
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, FileObject]" = OrderedDict()
+        self._pins: Dict[str, int] = {}
+        self.used = 0.0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- queries --------------------------------------------------------------
+    def contains(self, name: str) -> bool:
+        """True if ``name`` is cached (counts as a touch)."""
+        if name in self._entries:
+            self._entries.move_to_end(name)
+            return True
+        return False
+
+    def get(self, name: str) -> Optional[FileObject]:
+        """The cached file, touched, or None (hit/miss accounting)."""
+        entry = self._entries.get(name)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(name)
+        return entry
+
+    @property
+    def free(self) -> float:
+        """Unreserved bytes."""
+        return self.capacity - self.used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- mutation ----------------------------------------------------------------
+    def put(self, file: FileObject) -> FileObject:
+        """Insert a file, evicting unpinned LRU entries to make room.
+
+        Raises :class:`NoSpaceError` if even full eviction cannot fit it
+        (e.g. everything else is pinned).
+        """
+        if file.name in self._entries:
+            self._entries.move_to_end(file.name)
+            return self._entries[file.name]
+        if file.size > self.capacity:
+            raise NoSpaceError(
+                f"{self.name}: file {file.name!r} ({file.size:.0f}B) "
+                f"exceeds cache capacity")
+        while self.used + file.size > self.capacity:
+            if not self._evict_one():
+                raise NoSpaceError(
+                    f"{self.name}: cannot free space for {file.name!r} "
+                    f"(all {len(self._entries)} entries pinned)")
+        self._entries[file.name] = file
+        self.used += file.size
+        return file
+
+    def _evict_one(self) -> bool:
+        for name, entry in self._entries.items():
+            if self._pins.get(name, 0) == 0:
+                del self._entries[name]
+                self.used -= entry.size
+                self.evictions += 1
+                return True
+        return False
+
+    def invalidate(self, name: str) -> None:
+        """Drop an entry (pinned entries cannot be invalidated)."""
+        if self._pins.get(name, 0) > 0:
+            raise RuntimeError(f"{name!r} is pinned")
+        entry = self._entries.pop(name, None)
+        if entry is not None:
+            self.used -= entry.size
+
+    # -- pinning ------------------------------------------------------------------
+    def pin(self, name: str) -> None:
+        """Protect an entry from eviction (nestable)."""
+        if name not in self._entries:
+            raise KeyError(f"{self.name}: cannot pin absent entry {name!r}")
+        self._pins[name] = self._pins.get(name, 0) + 1
+
+    def unpin(self, name: str) -> None:
+        """Release one pin."""
+        count = self._pins.get(name, 0)
+        if count <= 0:
+            raise RuntimeError(f"{name!r} is not pinned")
+        if count == 1:
+            del self._pins[name]
+        else:
+            self._pins[name] = count - 1
+
+    def is_pinned(self, name: str) -> bool:
+        """True while any pin is outstanding."""
+        return self._pins.get(name, 0) > 0
+
+    def __repr__(self) -> str:
+        return (f"DiskCache({self.name!r}, {len(self)} entries, "
+                f"{self.used / 2**30:.2f}/{self.capacity / 2**30:.2f} GiB, "
+                f"{self.hits}h/{self.misses}m)")

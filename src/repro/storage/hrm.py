@@ -1,0 +1,123 @@
+"""The Hierarchical Resource Manager (HRM).
+
+Paper §4: "HRM is a component that sits in front of the MSS (in this case
+an HPSS system at LBNL) and stages files from the MSS to its local disk
+cache. After this action is complete, the RM uses GridFTP to move the
+file securely over the wide-area network to its destination."
+
+The HRM here:
+
+- accepts stage requests and deduplicates concurrent requests for the
+  same file (one tape read serves all waiters),
+- publishes staged files into the host filesystem GridFTP serves from,
+- pins staged files in the MSS cache while transfers reference them,
+  releasing the pin on :meth:`release`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.sim.core import Environment
+from repro.sim.events import Event
+from repro.storage.filesystem import FileSystem
+from repro.storage.hpss import MassStorageSystem
+
+
+@dataclass
+class StageRequest:
+    """One logical staging request (possibly shared by several callers)."""
+
+    name: str
+    ready: Event
+    requested_at: float
+    completed_at: Optional[float] = None
+    waiters: int = 1
+    id: int = field(default_factory=itertools.count(1).__next__)
+
+    @property
+    def stage_time(self) -> Optional[float]:
+        """Wall-clock staging duration, once complete."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.requested_at
+
+
+class HierarchicalResourceManager:
+    """Stages tape-resident files to disk ahead of WAN transfer."""
+
+    def __init__(self, env: Environment, mss: MassStorageSystem,
+                 serve_fs: FileSystem, name: str = "hrm"):
+        self.env = env
+        self.mss = mss
+        self.serve_fs = serve_fs
+        self.name = name
+        self._inflight: Dict[str, StageRequest] = {}
+        self.completed: list = []  # history of StageRequest
+
+    # -- staging -------------------------------------------------------------
+    def request_stage(self, name: str) -> StageRequest:
+        """Ask for ``name`` to become disk-resident.
+
+        Returns a :class:`StageRequest`; wait on ``request.ready``. If the
+        same file is already being staged, the existing request is shared.
+        """
+        existing = self._inflight.get(name)
+        if existing is not None:
+            existing.waiters += 1
+            return existing
+        req = StageRequest(name, Event(self.env), self.env.now)
+        if self.serve_fs.exists(name) and self.mss.is_staged(name):
+            # Already disk-resident: complete immediately.
+            req.completed_at = self.env.now
+            self.mss.cache.pin(name)
+            req.ready.succeed(self.serve_fs.stat(name))
+            self.completed.append(req)
+            return req
+        self._inflight[name] = req
+        self.env.process(self._stage(req))
+        return req
+
+    def _stage(self, req: StageRequest):
+        try:
+            file = yield from self.mss.retrieve(req.name)
+        except Exception as exc:
+            del self._inflight[req.name]
+            req.ready.fail(exc)
+            return
+        self.mss.cache.pin(req.name)
+        if not self.serve_fs.exists(req.name):
+            self.serve_fs.store(file)
+        req.completed_at = self.env.now
+        del self._inflight[req.name]
+        self.completed.append(req)
+        req.ready.succeed(file)
+
+    def release(self, name: str) -> None:
+        """Signal that a transfer referencing ``name`` has finished."""
+        if self.mss.cache.is_pinned(name):
+            self.mss.cache.unpin(name)
+
+    # -- queries -------------------------------------------------------------------
+    def is_staged(self, name: str) -> bool:
+        """True if the file is already on the serving disk."""
+        return self.serve_fs.exists(name) and self.mss.is_staged(name)
+
+    def estimate_wait(self, name: str) -> float:
+        """Rough time until ``name`` could be disk-resident."""
+        if self.is_staged(name):
+            return 0.0
+        queued = self.mss.tape.queue_length
+        per_item = self.mss.tape.spec.mount_time + self.mss.tape.spec.max_seek_time / 2
+        return self.mss.estimate_retrieve_time(name) + queued * per_item
+
+    @property
+    def inflight(self) -> int:
+        """Number of distinct files currently being staged."""
+        return len(self._inflight)
+
+    def __repr__(self) -> str:
+        return (f"HierarchicalResourceManager({self.name!r}, "
+                f"{self.inflight} staging, {len(self.completed)} done)")

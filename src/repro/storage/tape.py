@@ -1,0 +1,159 @@
+"""Tape library model: drives, cartridge mounts, seeks, streaming reads.
+
+Staging latency structure (what the RM↔HRM interaction actually depends
+on): wait for a free drive, possibly swap cartridges (tens of seconds),
+wind to the file (seconds to minutes), then stream at the drive's rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.sim.core import Environment
+from repro.sim.resources import Resource
+from repro.storage.filesystem import FileObject
+
+
+@dataclass(frozen=True)
+class TapeSpec:
+    """Performance characteristics of the library's drives/cartridges.
+
+    Era-typical defaults (HPSS with IBM 3590-class drives): ~14 MB/s
+    streaming, ~40 s exchange+load, seeks up to a minute across a
+    cartridge.
+    """
+
+    read_rate: float = 14 * 2**20
+    mount_time: float = 40.0
+    max_seek_time: float = 60.0
+    rewind_time: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.read_rate <= 0:
+            raise ValueError("read_rate must be positive")
+        if min(self.mount_time, self.max_seek_time, self.rewind_time) < 0:
+            raise ValueError("times must be >= 0")
+
+    def seek_time(self, position: float) -> float:
+        """Wind time to fractional ``position`` in [0, 1] on a cartridge."""
+        if not (0.0 <= position <= 1.0):
+            raise ValueError("position must be in [0, 1]")
+        return self.max_seek_time * position
+
+
+class TapeDrive:
+    """One drive; remembers which cartridge is loaded."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.loaded_tape: Optional[str] = None
+        self.mounts = 0
+        self.bytes_read = 0.0
+
+
+class TapeLibrary:
+    """A robot library: N drives shared by all staging requests.
+
+    Files are registered to (tape, position); :meth:`read` is a
+    simulation process returning the file after mount+seek+stream.
+    """
+
+    def __init__(self, env: Environment, drives: int = 2,
+                 spec: Optional[TapeSpec] = None, name: str = "tape"):
+        if drives < 1:
+            raise ValueError("need at least one drive")
+        self.env = env
+        self.name = name
+        self.spec = spec or TapeSpec()
+        self.drives = [TapeDrive(f"{name}-drive{i}") for i in range(drives)]
+        self._drive_pool = Resource(env, capacity=drives)
+        self._catalog: Dict[str, Tuple[str, float, FileObject]] = {}
+        self._idle_drives = list(self.drives)
+        self._busy: Dict[int, TapeDrive] = {}
+
+    # -- catalog ------------------------------------------------------------
+    def register(self, file: FileObject, tape: str, position: float) -> None:
+        """Record that ``file`` lives on ``tape`` at fractional position."""
+        if not (0.0 <= position <= 1.0):
+            raise ValueError("position must be in [0, 1]")
+        self._catalog[file.name] = (tape, position, file)
+
+    def lookup(self, name: str) -> FileObject:
+        """The registered file (raises KeyError if absent)."""
+        return self._catalog[name][2]
+
+    def has(self, name: str) -> bool:
+        """True if the file is on tape here."""
+        return name in self._catalog
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a drive."""
+        return self._drive_pool.queue_length
+
+    # -- staging ---------------------------------------------------------------
+    def read(self, name: str):
+        """Simulation process: stage ``name`` off tape; returns the file.
+
+        Cost = drive wait + (mount if the drive holds a different
+        cartridge) + seek + size/read_rate.
+        """
+        entry = self._catalog.get(name)
+        if entry is None:
+            raise KeyError(f"{self.name}: no file {name!r} on tape")
+        tape, position, file = entry
+        req = self._drive_pool.request()
+        yield req
+        drive = self._idle_drives.pop()
+        try:
+            if drive.loaded_tape != tape:
+                if drive.loaded_tape is not None:
+                    yield self.env.timeout(self.spec.rewind_time)
+                yield self.env.timeout(self.spec.mount_time)
+                drive.loaded_tape = tape
+                drive.mounts += 1
+            yield self.env.timeout(self.spec.seek_time(position))
+            yield self.env.timeout(file.size / self.spec.read_rate)
+            drive.bytes_read += file.size
+            return file
+        finally:
+            self._idle_drives.append(drive)
+            self._drive_pool.release(req)
+
+    def write(self, file: FileObject, tape: str, position: float):
+        """Simulation process: migrate a file onto tape.
+
+        Cost = drive wait + (mount if needed) + seek + size/write_rate
+        (write rate = read rate for these drives). The file is
+        registered in the catalog on completion.
+        """
+        if not (0.0 <= position <= 1.0):
+            raise ValueError("position must be in [0, 1]")
+        req = self._drive_pool.request()
+        yield req
+        drive = self._idle_drives.pop()
+        try:
+            if drive.loaded_tape != tape:
+                if drive.loaded_tape is not None:
+                    yield self.env.timeout(self.spec.rewind_time)
+                yield self.env.timeout(self.spec.mount_time)
+                drive.loaded_tape = tape
+                drive.mounts += 1
+            yield self.env.timeout(self.spec.seek_time(position))
+            yield self.env.timeout(file.size / self.spec.read_rate)
+            self._catalog[file.name] = (tape, position, file)
+            return file
+        finally:
+            self._idle_drives.append(drive)
+            self._drive_pool.release(req)
+
+    def estimate_stage_time(self, name: str) -> float:
+        """Optimistic staging estimate (free drive, right cartridge)."""
+        tape, position, file = self._catalog[name]
+        return (self.spec.seek_time(position)
+                + file.size / self.spec.read_rate)
+
+    def __repr__(self) -> str:
+        return (f"TapeLibrary({self.name!r}, {len(self.drives)} drives, "
+                f"{len(self._catalog)} files)")

@@ -1,0 +1,78 @@
+"""Edge-path tests for the CDAT client facade."""
+
+import pytest
+
+from repro.data import DataError, GridSpec
+from repro.scenarios import EsgTestbed
+
+
+def make_tb(**kw):
+    defaults = dict(seed=19, grid=GridSpec(nlat=12, nlon=24, months=12))
+    defaults.update(kw)
+    tb = EsgTestbed(**defaults)
+    tb.warm_nws(60.0)
+    return tb
+
+
+def test_fetch_empty_selection_raises():
+    tb = make_tb(materialize=True)
+
+    def main():
+        with pytest.raises(DataError, match="matched no files"):
+            yield from tb.cdat.fetch("pcmdi.ncar_csm.run1", "tas",
+                                     years=(1800, 1801))
+        yield tb.env.timeout(0)
+
+    tb.run_process(main())
+
+
+def test_fetch_synthetic_archive_requires_flag():
+    """Size-only archives deliver no bytes to decode: the client says so
+    unless told transfer-behaviour-only is fine."""
+    tb = make_tb(materialize=False)
+
+    def strict():
+        with pytest.raises(DataError, match="without content"):
+            yield from tb.cdat.fetch("pcmdi.ncar_csm.run1", "tas",
+                                     months=(1, 1))
+        yield tb.env.timeout(0)
+
+    tb.run_process(strict())
+
+    def relaxed():
+        result = yield from tb.cdat.fetch(
+            "pcmdi.ncar_csm.run1", "tas", months=(1, 1),
+            require_content=False)
+        return result
+
+    result = tb.run_process(relaxed())
+    assert result.dataset is None
+    assert result.ticket.complete
+    assert len(result.logical_files) == 1
+
+
+def test_fetch_reports_failed_files():
+    tb = make_tb(materialize=True)
+    ds = "pcmdi.ncar_csm.run1"
+    # Corrupt the catalog: register a file that exists nowhere.
+    tb.replica_catalog.add_file_to_location(ds, "anl", "ghost.nc")
+    tb.metadata_catalog.register_files(ds, [{
+        "logical_name": "ghost.nc", "size": 1000,
+        "year": 1995, "month_range": (1, 1), "variables": ("tas",)}])
+    # Remove it from anl's actual filesystem claim... it was never there.
+
+    def main():
+        with pytest.raises(DataError, match="failed"):
+            yield from tb.cdat.fetch(ds, "tas", months=(1, 1))
+        yield tb.env.timeout(0)
+
+    # The ghost file's only "replica" 550s at transfer time.
+    tb.run_process(main())
+
+
+def test_browse_matches_catalog():
+    tb = make_tb()
+    listing = tb.cdat.browse()
+    assert {e["dataset"] for e in listing} == set(tb.dataset_ids())
+    for entry in listing:
+        assert entry["files"] == 12

@@ -1,0 +1,89 @@
+"""Tests for PGM/PPM image output."""
+
+import numpy as np
+import pytest
+
+from repro.cdat import decode_pnm_header, field_to_pgm, field_to_ppm
+from repro.data import ClimateModelRun, GridSpec
+
+
+def test_pgm_structure():
+    field = np.linspace(0, 1, 12).reshape(3, 4)
+    blob = field_to_pgm(field)
+    magic, w, h = decode_pnm_header(blob)
+    assert (magic, w, h) == ("P5", 4, 3)
+    header_len = blob.index(b"255\n") + 4
+    assert len(blob) - header_len == 12  # one byte per pixel
+
+
+def test_ppm_structure():
+    field = np.linspace(0, 1, 12).reshape(3, 4)
+    blob = field_to_ppm(field)
+    magic, w, h = decode_pnm_header(blob)
+    assert (magic, w, h) == ("P6", 4, 3)
+    header_len = blob.index(b"255\n") + 4
+    assert len(blob) - header_len == 36  # three bytes per pixel
+
+
+def test_pgm_value_mapping():
+    field = np.array([[0.0, 100.0]])
+    blob = field_to_pgm(field)
+    pixels = blob[blob.index(b"255\n") + 4:]
+    assert pixels == bytes([0, 255])
+
+
+def test_explicit_range_clips():
+    field = np.array([[-10.0, 5.0, 20.0]])
+    blob = field_to_pgm(field, vmin=0.0, vmax=10.0)
+    pixels = blob[blob.index(b"255\n") + 4:]
+    assert pixels[0] == 0      # clipped low
+    assert pixels[1] == 127    # midpoint
+    assert pixels[2] == 255    # clipped high
+
+
+def test_north_up_flip():
+    field = np.array([[0.0, 0.0], [100.0, 100.0]])  # north row = hot
+    blob = field_to_pgm(field)  # default: flip so north is the top row
+    pixels = blob[blob.index(b"255\n") + 4:]
+    assert pixels[:2] == bytes([255, 255])
+    unflipped = field_to_pgm(field, flip_north_up=False)
+    pixels2 = unflipped[unflipped.index(b"255\n") + 4:]
+    assert pixels2[:2] == bytes([0, 0])
+
+
+def test_constant_field_is_black():
+    blob = field_to_pgm(np.full((2, 2), 5.0))
+    pixels = blob[blob.index(b"255\n") + 4:]
+    assert pixels == bytes(4)
+
+
+def test_diverging_colormap_endpoints():
+    field = np.array([[0.0, 0.5, 1.0]])
+    blob = field_to_ppm(field)
+    pixels = blob[blob.index(b"255\n") + 4:]
+    r0, g0, b0 = pixels[0:3]     # cold end: blue
+    rm, gm, bm = pixels[3:6]     # middle: near white
+    r1, g1, b1 = pixels[6:9]     # hot end: red
+    assert b0 == 255 and r0 == 0
+    assert r1 == 255 and b1 == 0
+    assert min(rm, gm, bm) > 180
+
+
+def test_rejects_non_2d():
+    with pytest.raises(ValueError):
+        field_to_pgm(np.zeros(5))
+    with pytest.raises(ValueError):
+        field_to_ppm(np.zeros((2, 2, 2)))
+    with pytest.raises(ValueError):
+        decode_pnm_header(b"JUNK")
+
+
+def test_real_field_renders(tmp_path):
+    run = ClimateModelRun(grid=GridSpec(32, 64, 12))
+    ds = run.generate_year(1995)
+    field = ds["tas"].data.mean(axis=0)
+    ppm = field_to_ppm(field)
+    out = tmp_path / "tas.ppm"
+    out.write_bytes(ppm)
+    magic, w, h = decode_pnm_header(out.read_bytes())
+    assert (magic, w, h) == ("P6", 64, 32)

@@ -1,0 +1,55 @@
+"""Tests for the ``repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_grammar():
+    parser = build_parser()
+    args = parser.parse_args(["--seed", "3", "table1",
+                              "--minutes", "5"])
+    assert args.seed == 3
+    assert args.command == "table1"
+    assert args.minutes == 5.0
+    args = parser.parse_args(["portal", "pr"])
+    assert args.variable == "pr"
+    with pytest.raises(SystemExit):
+        parser.parse_args([])  # command required
+    with pytest.raises(SystemExit):
+        parser.parse_args(["portal", "nonsense"])
+
+
+def test_browse_command(capsys):
+    assert main(["browse"]) == 0
+    out = capsys.readouterr().out
+    assert "pcmdi.ncar_csm.run1" in out
+    assert "tas" in out
+
+
+def test_table1_command_short(capsys):
+    assert main(["--seed", "3", "table1", "--minutes", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Peak transfer rate over 0.1 seconds" in out
+    assert "Striped servers at source location" in out
+
+
+def test_figure8_command_short(capsys):
+    assert main(["--seed", "5", "figure8", "--hours", "0.3"]) == 0
+    out = capsys.readouterr().out
+    assert "Mb/s" in out
+    assert "plateau" in out
+
+
+def test_demo_command(capsys):
+    assert main(["--seed", "4", "demo"]) == 0
+    out = capsys.readouterr().out
+    assert "scale:" in out          # a rendered field
+    assert "simulated seconds" in out
+
+
+def test_portal_command(capsys):
+    assert main(["--seed", "4", "portal", "tas"]) == 0
+    out = capsys.readouterr().out
+    assert "server-side January mean" in out
+    assert "less than the file" in out

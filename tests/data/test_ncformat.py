@@ -1,0 +1,106 @@
+"""Tests for the SDBF self-describing binary format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    Dataset,
+    FormatError,
+    Variable,
+    decode,
+    decode_header,
+    encode,
+)
+
+
+def sample_ds():
+    ds = Dataset("sample", {"model": "NCAR_CSM", "year": "1998"})
+    ds.add_coord("time", [0.0, 0.5])
+    ds.add_coord("lat", [-30.0, 30.0])
+    ds.add_variable(Variable("tas", ("time", "lat"),
+                             [[280.0, 290.0], [281.0, 291.0]],
+                             {"units": "K"}))
+    ds.add_variable(Variable("pr", ("time", "lat"),
+                             [[1.0, 2.0], [3.0, 4.0]],
+                             {"units": "mm/day"}))
+    return ds
+
+
+def test_roundtrip_preserves_everything():
+    ds = sample_ds()
+    out = decode(encode(ds))
+    assert out.name == "sample"
+    assert out.attrs == ds.attrs
+    assert set(out.variables) == {"tas", "pr"}
+    np.testing.assert_array_equal(out.coords["lat"], ds.coords["lat"])
+    np.testing.assert_array_equal(out["tas"].data, ds["tas"].data)
+    assert out["tas"].dims == ("time", "lat")
+    assert out["tas"].attrs == {"units": "K"}
+
+
+def test_header_readable_without_payload():
+    blob = encode(sample_ds())
+    header = decode_header(blob)
+    assert header["name"] == "sample"
+    assert header["variables"]["tas"]["shape"] == [2, 2]
+    assert header["variables"]["pr"]["attrs"]["units"] == "mm/day"
+    # Header lives near the front: truncating the payload keeps it valid.
+    import struct
+    hlen = struct.unpack("<II", blob[4:12])[1]
+    assert decode_header(blob[:12 + hlen]) == header
+
+
+def test_magic_rejected():
+    with pytest.raises(FormatError):
+        decode_header(b"NOPE" + b"\x00" * 20)
+    with pytest.raises(FormatError):
+        decode_header(b"SD")
+
+
+def test_bad_version_rejected():
+    blob = bytearray(encode(sample_ds()))
+    blob[4] = 99
+    with pytest.raises(FormatError, match="version"):
+        decode_header(bytes(blob))
+
+
+def test_truncated_payload_rejected():
+    blob = encode(sample_ds())
+    with pytest.raises(FormatError, match="truncated"):
+        decode(blob[:-8])
+
+
+def test_corrupt_header_rejected():
+    blob = bytearray(encode(sample_ds()))
+    blob[14] = 0xFF  # stomp JSON
+    with pytest.raises(FormatError):
+        decode_header(bytes(blob))
+
+
+def test_empty_dataset_roundtrip():
+    ds = Dataset("empty")
+    out = decode(encode(ds))
+    assert out.name == "empty"
+    assert not out.variables
+
+
+@given(st.integers(1, 5), st.integers(1, 5), st.integers(0, 2**31))
+@settings(max_examples=40, deadline=None)
+def test_property_roundtrip_arbitrary_shapes(nt, nx, seed):
+    rng = np.random.default_rng(seed)
+    ds = Dataset(f"p{seed}")
+    ds.add_coord("time", np.arange(nt, dtype=float))
+    ds.add_coord("x", np.arange(nx, dtype=float))
+    data = rng.normal(size=(nt, nx))
+    ds.add_variable(Variable("v", ("time", "x"), data))
+    out = decode(encode(ds))
+    np.testing.assert_array_almost_equal(out["v"].data, data, decimal=12)
+
+
+def test_encoded_size_tracks_payload():
+    ds = sample_ds()
+    blob = encode(ds)
+    assert len(blob) >= ds.nbytes  # payload + header + magic
+    assert len(blob) < ds.nbytes + 2000  # header is compact

@@ -1,0 +1,125 @@
+"""Tests for the standard server-side processing plug-ins."""
+
+import numpy as np
+import pytest
+
+from repro.data import ClimateModelRun, GridSpec, decode
+from repro.gridftp.plugins import (
+    PluginError,
+    checksum_plugin,
+    extract_variable_plugin,
+    install_standard_plugins,
+    subset_plugin,
+    time_mean_plugin,
+)
+from repro.storage import FileObject
+
+
+def sdbf_file(name="year.nc"):
+    run = ClimateModelRun(grid=GridSpec(16, 32, 12), seed=2)
+    blob = run.encode_year(1995)
+    return FileObject(name, len(blob), content=blob), run
+
+
+def test_subset_plugin_reduces_and_preserves_values():
+    file, run = sdbf_file()
+    size, blob = subset_plugin(file, {"variable": "tas",
+                                      "lat": (-30.0, 30.0),
+                                      "time": (0.0, 0.2)})
+    assert size == len(blob)
+    assert size < file.size / 4
+    sub = decode(blob)
+    full = run.generate_year(1995)
+    lat = full.coords["lat"]
+    keep = (lat >= -30) & (lat <= 30)
+    np.testing.assert_allclose(sub["tas"].data[0],
+                               full["tas"].data[0][keep], rtol=1e-12)
+
+
+def test_subset_plugin_validation():
+    file, _ = sdbf_file()
+    with pytest.raises(PluginError, match="variable"):
+        subset_plugin(file, {})
+    with pytest.raises(PluginError):
+        subset_plugin(file, {"variable": "ghost"})
+    with pytest.raises(PluginError, match="no content"):
+        subset_plugin(FileObject("x", 100), {"variable": "tas"})
+    with pytest.raises(PluginError, match="not an SDBF"):
+        subset_plugin(FileObject("x", 4, content=b"junk"),
+                      {"variable": "tas"})
+
+
+def test_extract_variable_plugin():
+    file, _ = sdbf_file()
+    size, blob = extract_variable_plugin(file, {"variable": "pr"})
+    ds = decode(blob)
+    assert set(ds.variables) == {"pr"}
+    assert size < file.size / 2  # dropped 2 of 3 variables
+    with pytest.raises(PluginError):
+        extract_variable_plugin(file, {"variable": "nope"})
+    with pytest.raises(PluginError):
+        extract_variable_plugin(file, {})
+
+
+def test_time_mean_plugin_reduces_by_months():
+    file, run = sdbf_file()
+    size, blob = time_mean_plugin(file, {"variable": "tas"})
+    ds = decode(blob)
+    assert ds["tas"].dims == ("lat", "lon")
+    full = run.generate_year(1995)
+    np.testing.assert_allclose(ds["tas"].data,
+                               full["tas"].data.mean(axis=0), rtol=1e-12)
+    # ~12x reduction on the variable payload.
+    assert size < file.size / 6
+
+
+def test_time_mean_plugin_requires_time_axis():
+    from repro.data import Dataset, Variable, encode
+    ds = Dataset("flat")
+    ds.add_coord("lat", [0.0, 1.0])
+    ds.add_variable(Variable("v", ("lat",), np.zeros(2)))
+    blob = encode(ds)
+    f = FileObject("flat.nc", len(blob), content=blob)
+    with pytest.raises(PluginError, match="no time axis"):
+        time_mean_plugin(f, {"variable": "v"})
+    with pytest.raises(PluginError):
+        time_mean_plugin(f, {})
+
+
+def test_checksum_plugin_tiny_and_stable():
+    file, _ = sdbf_file()
+    size, blob = checksum_plugin(file, {})
+    assert size == 64  # hex sha256
+    size2, blob2 = checksum_plugin(file, {})
+    assert blob == blob2
+    # Size-only files get a name/size digest.
+    s3, b3 = checksum_plugin(FileObject("big", 1e9), {})
+    assert s3 == 64
+
+
+def test_install_standard_plugins(grid):
+    install_standard_plugins(grid.server)
+    feats = grid.server.features
+    for name in ("subset", "extract", "time_mean", "checksum"):
+        assert f"ERET:{name}" in feats
+
+
+def test_plugins_over_the_wire(grid):
+    """End-to-end: the subset ships, the original stays put."""
+    install_standard_plugins(grid.server)
+    file, _ = sdbf_file()
+    grid.server_fs.store(file)
+
+    def main():
+        session = yield from grid.client.connect(grid.client_host,
+                                                 "srv.lbl.gov")
+        stats = yield from session.get(
+            "year.nc", grid.client_fs, grid.client_host,
+            dest_name="tropics.nc", eret="subset",
+            eret_args={"variable": "tas", "lat": (-15.0, 15.0)})
+        return stats
+
+    stats = grid.run_process(main())
+    assert stats.transferred_bytes < file.size / 4
+    sub = decode(grid.client_fs.stat("tropics.nc").content)
+    assert float(np.abs(sub.coords["lat"]).max()) <= 15.0

@@ -1,0 +1,102 @@
+"""Integration: publishing new model output into the grid.
+
+The producer-side workflow the introduction motivates: model output is
+uploaded, ingested into HPSS (cache + background tape migration),
+catalogued, replicated, and immediately fetchable by consumers.
+"""
+
+import pytest
+
+from repro.scenarios import EsgTestbed
+from repro.storage import FileObject
+
+MB = 2 ** 20
+
+
+@pytest.fixture
+def tb():
+    testbed = EsgTestbed(seed=22, file_size_override=16 * MB)
+    testbed.warm_nws(60.0)
+    return testbed
+
+
+def publish_one(tb, name, size=16 * MB):
+    """Upload from LLNL, ingest at PDSF, catalog."""
+    llnl = tb.sites["llnl"]
+    pdsf = tb.sites["lbnl-pdsf"]
+    llnl.fs.create(name, size)
+
+    def flow():
+        session = yield from tb.gridftp.connect(tb.client_host,
+                                                pdsf.hostname)
+        yield from session.put(name, llnl.fs, llnl.host)
+        session.close()
+        yield from pdsf.hrm.mss.store(FileObject(name, size), "T-pub",
+                                      0.1)
+
+    tb.run_process(flow())
+    return pdsf
+
+
+def test_publish_ingest_and_fetch(tb):
+    ds = "pcmdi.fresh.run1"
+    tb.replica_catalog.create_collection(ds)
+    pdsf = publish_one(tb, "fresh.m01.nc")
+    tb.replica_catalog.register_location(
+        ds, "lbnl-pdsf", "gsiftp", pdsf.hostname, 2811, "/hpss",
+        files=["fresh.m01.nc"])
+    tb.replica_catalog.register_logical_file(ds, "fresh.m01.nc", 16 * MB)
+    # Durable on tape AND immediately serveable from cache/disk.
+    assert pdsf.hrm.mss.tape.has("fresh.m01.nc")
+    assert pdsf.hrm.mss.is_staged("fresh.m01.nc")
+    assert pdsf.fs.exists("fresh.m01.nc")
+    ticket = tb.request_manager.submit([(ds, "fresh.m01.nc")])
+    tb.env.run(until=ticket.done)
+    assert not ticket.failed_files
+    assert tb.client_fs.exists("fresh.m01.nc")
+    # The fetch was a cache hit: no tape stage was needed.
+    assert pdsf.hrm.mss.stage_count == 0
+
+
+def test_publish_then_replicate_then_spread_fetch(tb):
+    ds = "pcmdi.fresh.run2"
+    tb.replica_catalog.create_collection(ds)
+    pdsf = publish_one(tb, "fresh2.nc")
+    tb.replica_catalog.register_location(
+        ds, "lbnl-pdsf", "gsiftp", pdsf.hostname, 2811, "/hpss",
+        files=["fresh2.nc"])
+
+    def replicate():
+        stats = yield from tb.replica_manager.replicate_file(
+            tb.client_host, ds, "fresh2.nc", "anl-pub",
+            tb.sites["anl"].server)
+        return stats
+
+    stats = tb.run_process(replicate())
+    assert stats.transferred_bytes == pytest.approx(16 * MB)
+    assert tb.replica_manager.coverage(ds)["fresh2.nc"] == 2
+    # The new replica serves the next fetch.
+    ticket = tb.request_manager.submit([(ds, "fresh2.nc")])
+    tb.env.run(until=ticket.done)
+    assert ticket.files[0].chosen_location in ("anl-pub", "lbnl-pdsf")
+
+
+def test_migration_survives_cache_pressure(tb):
+    """The pin during migration keeps fresh data safe while the cache
+    churns."""
+    pdsf = tb.sites["lbnl-pdsf"]
+    mss = pdsf.hrm.mss
+    mss.cache.capacity = 64 * MB  # tiny cache
+
+    def flow():
+        ingest = tb.env.process(
+            mss.store(FileObject("precious.nc", 32 * MB), "T-x", 0.0))
+        # Churn the cache while migration is in flight.
+        yield tb.env.timeout(1.0)
+        for i in range(3):
+            mss.cache.put(FileObject(f"churn{i}.nc", 10 * MB))
+        yield ingest
+
+    tb.run_process(flow())
+    assert mss.tape.has("precious.nc")
+    assert mss.migrations == 1

@@ -1,0 +1,136 @@
+"""Tests for the replicated directory (§6.2 future work)."""
+
+import pytest
+
+from repro.ldap import DirectoryError, DirectoryServer, Scope
+from repro.ldap.replicated import ReplicatedDirectory
+from repro.sim import Environment
+
+
+def build(sync_interval=10.0, n_replicas=2):
+    env = Environment()
+    primary = DirectoryServer(env, "primary", base_latency=0.010)
+    replicas = [DirectoryServer(env, f"replica{i}",
+                                base_latency=0.002 + i * 0.001)
+                for i in range(n_replicas)]
+    rd = ReplicatedDirectory(env, primary, replicas,
+                             sync_interval=sync_interval)
+    return env, primary, replicas, rd
+
+
+def test_writes_go_to_primary_and_lag_until_sync():
+    env, primary, replicas, rd = build()
+    rd.add("o=esg", {"objectclass": "org"})
+    rd.add("lc=coll,o=esg", {"objectclass": "collection"})
+    assert primary.exists("lc=coll,o=esg")
+    assert not replicas[0].exists("lc=coll,o=esg")
+    assert rd.lag == 2
+    rd.sync_now()
+    assert rd.lag == 0
+    for r in replicas:
+        assert r.exists("lc=coll,o=esg")
+
+
+def test_periodic_sync_process():
+    env, primary, replicas, rd = build(sync_interval=10.0)
+    rd.start()
+    rd.start()  # idempotent
+    rd.add("o=esg", {"objectclass": "org"})
+    env.run(until=5.0)
+    assert not replicas[0].exists("o=esg")  # still stale
+    env.run(until=11.0)
+    assert replicas[0].exists("o=esg")
+    assert rd.syncs >= 1
+
+
+def test_modify_and_delete_replicate():
+    env, primary, replicas, rd = build()
+    rd.add("o=esg", {"objectclass": "org", "v": "1"})
+    rd.sync_now()
+    rd.modify("o=esg", replace={"v": "2"})
+    rd.add("cn=x,o=esg", {"objectclass": "leaf"})
+    rd.delete("cn=x,o=esg")
+    rd.sync_now()
+    for r in replicas:
+        assert r.lookup("o=esg").first("v") == "2"
+        assert not r.exists("cn=x,o=esg")
+
+
+def test_reads_prefer_lowest_latency_healthy_server():
+    env, primary, replicas, rd = build()
+    rd.add("o=esg", {"objectclass": "org"})
+    rd.sync_now()
+    # replica0 has the lowest base_latency.
+    assert rd._read_server() is replicas[0]
+    entry = rd.lookup("o=esg")
+    assert entry.first("objectclass") == "org"
+
+
+def test_failover_to_replica_when_primary_down():
+    env, primary, replicas, rd = build()
+    down = set()
+    rd.health = lambda server: server not in down
+    rd.add("o=esg", {"objectclass": "org"})
+    rd.sync_now()
+    down.add(primary)
+    down.add(replicas[0])
+    # Reads still served (by replica1).
+    assert rd.exists("o=esg")
+    assert rd._read_server() is replicas[1]
+    # Writes blocked: single-master semantics.
+    with pytest.raises(DirectoryError, match="primary"):
+        rd.add("cn=y,o=esg", {})
+    with pytest.raises(DirectoryError, match="primary"):
+        rd.modify("o=esg", replace={"v": "9"})
+    with pytest.raises(DirectoryError, match="primary"):
+        rd.delete("o=esg")
+
+
+def test_all_servers_down():
+    env, primary, replicas, rd = build()
+    rd.health = lambda server: False
+    with pytest.raises(DirectoryError, match="no healthy"):
+        rd.lookup("o=esg")
+
+
+def test_stale_reads_between_syncs():
+    """The fundamental replication trade-off is observable."""
+    env, primary, replicas, rd = build()
+    rd.add("o=esg", {"objectclass": "org", "version": "1"})
+    rd.sync_now()
+    rd.modify("o=esg", replace={"version": "2"})
+    # Best read server is a replica → stale value until the next sync.
+    assert rd.lookup("o=esg").first("version") == "1"
+    rd.sync_now()
+    assert rd.lookup("o=esg").first("version") == "2"
+
+
+def test_timed_query_uses_fast_replica():
+    env, primary, replicas, rd = build()
+    rd.add("o=esg", {"objectclass": "org"})
+    rd.sync_now()
+
+    def main():
+        hits = yield from rd.query("o=esg", Scope.BASE)
+        return env.now, hits
+
+    p = env.process(main())
+    env.run(until=p)
+    t, hits = p.value
+    assert len(hits) == 1
+    assert t < primary.base_latency  # served by the faster replica
+
+
+def test_replay_tolerates_converged_replicas():
+    env, primary, replicas, rd = build()
+    rd.add("o=esg", {"objectclass": "org"})
+    # Replica already has the entry (e.g. seeded out of band).
+    replicas[0].add("o=esg", {"objectclass": "org"})
+    rd.sync_now()  # must not raise
+    assert replicas[1].exists("o=esg")
+
+
+def test_sync_interval_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        ReplicatedDirectory(env, DirectoryServer(env), sync_interval=0)

@@ -1,0 +1,110 @@
+"""Property-based verification of max-min fairness on random networks."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import FluidNetwork, Topology, mbps
+from repro.sim import Environment
+
+
+def random_network(draw_nodes, draw_links, draw_flows, rng):
+    """Build a random connected-ish topology and flow set."""
+    env = Environment()
+    topo = Topology()
+    nodes = [f"n{i}" for i in range(draw_nodes)]
+    # Chain backbone guarantees connectivity.
+    for a, b in zip(nodes, nodes[1:]):
+        topo.duplex_link(a, b, mbps(float(rng.integers(10, 200))),
+                         0.001)
+    # Extra random links.
+    for k in range(draw_links):
+        i, j = rng.integers(0, draw_nodes, size=2)
+        if i == j:
+            continue
+        try:
+            topo.duplex_link(nodes[i], nodes[j],
+                             mbps(float(rng.integers(10, 200))),
+                             0.001, name=f"x{k}")
+        except ValueError:
+            pass
+    net = FluidNetwork(env, topo)
+    flows = []
+    for f in range(draw_flows):
+        i, j = rng.integers(0, draw_nodes, size=2)
+        if i == j:
+            continue
+        cap = (math.inf if rng.random() < 0.5
+               else mbps(float(rng.integers(1, 150))))
+        flows.append(net.transfer(nodes[i], nodes[j], 1e15, cap=cap))
+    net.reallocate()
+    return env, topo, net, flows
+
+
+@given(st.integers(3, 8), st.integers(0, 6), st.integers(1, 12),
+       st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_property_allocation_feasible(n_nodes, n_extra, n_flows, seed):
+    """No link oversubscribed; no flow above its cap."""
+    rng = np.random.default_rng(seed)
+    env, topo, net, flows = random_network(n_nodes, n_extra, n_flows, rng)
+    for link in topo.links.values():
+        used = sum(f.rate for f in net.flows_on(link))
+        assert used <= link.capacity * (1 + 1e-6)
+    for f in flows:
+        assert f.rate <= f.cap * (1 + 1e-9)
+
+
+@given(st.integers(3, 8), st.integers(0, 6), st.integers(1, 12),
+       st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_property_max_min_no_headroom(n_nodes, n_extra, n_flows, seed):
+    """Max-min optimality certificate: every flow is either at its own
+    cap or crosses a link where it is among the largest users and the
+    link is saturated (so its rate cannot be raised without lowering an
+    equal-or-smaller flow)."""
+    rng = np.random.default_rng(seed)
+    env, topo, net, flows = random_network(n_nodes, n_extra, n_flows, rng)
+    for f in flows:
+        if f.rate >= f.cap * (1 - 1e-6):
+            continue  # cap-limited: fine
+        blocked = False
+        for link in f.path:
+            used = sum(g.rate for g in net.flows_on(link))
+            saturated = used >= link.capacity * (1 - 1e-6)
+            if saturated:
+                biggest = max(g.rate for g in net.flows_on(link))
+                if f.rate >= biggest * (1 - 1e-6):
+                    blocked = True
+                    break
+        assert blocked, (f"flow {f.name} at {f.rate:.0f} has headroom "
+                         f"everywhere on its path")
+
+
+@given(st.integers(2, 6), st.integers(1, 8), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_property_conservation_through_completion(n_nodes, n_flows, seed):
+    """Running random finite flows to completion delivers exactly the
+    requested bytes (fluid accounting conserves volume)."""
+    rng = np.random.default_rng(seed)
+    env = Environment()
+    topo = Topology()
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    for a, b in zip(nodes, nodes[1:]):
+        topo.duplex_link(a, b, mbps(50), 0.001)
+    net = FluidNetwork(env, topo)
+    sizes, flows = [], []
+    for _ in range(n_flows):
+        i, j = rng.integers(0, n_nodes, size=2)
+        if i == j:
+            continue
+        size = float(rng.integers(1, 50)) * 1e6
+        sizes.append(size)
+        flows.append(net.transfer(nodes[i], nodes[j], size))
+    env.run()
+    for f, size in zip(flows, sizes):
+        assert f.finished_at is not None
+        assert f.transferred == pytest.approx(size, rel=1e-9)

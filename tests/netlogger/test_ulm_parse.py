@@ -1,0 +1,58 @@
+"""Tests for ULM round-tripping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlogger import NetLogger, parse_ulm, parse_ulm_log
+from repro.sim import Environment
+
+
+def test_roundtrip_single_record():
+    env = Environment()
+    log = NetLogger(env, host="anl-ws", prog="gridftp")
+
+    def emit(env):
+        yield env.timeout(12.5)
+        log.event("transfer.end", file="a.nc", bytes=100)
+
+    env.process(emit(env))
+    env.run()
+    line = log.records[0].to_ulm()
+    back = parse_ulm(line)
+    assert back.t == 12.5
+    assert back.host == "anl-ws"
+    assert back.prog == "gridftp"
+    assert back.event == "transfer.end"
+    assert back.fields == {"file": "a.nc", "bytes": "100"}
+
+
+def test_roundtrip_whole_log():
+    env = Environment()
+    log = NetLogger(env)
+    for i in range(5):
+        log.event(f"e{i}", seq=i)
+    parsed = parse_ulm_log(log.dump_ulm())
+    assert len(parsed) == 5
+    assert [r.event for r in parsed] == [f"e{i}" for i in range(5)]
+
+
+def test_parse_errors():
+    with pytest.raises(ValueError, match="malformed"):
+        parse_ulm("DATE=1 HOST=h PROG=p NL.EVNT=e junk")
+    with pytest.raises(ValueError, match="missing"):
+        parse_ulm("HOST=h PROG=p NL.EVNT=e")
+    assert parse_ulm_log("\n\n") == []
+
+
+@given(st.dictionaries(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+    st.text(alphabet="xyz0123.", min_size=1, max_size=8),
+    max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_property_fields_roundtrip(fields):
+    env = Environment()
+    log = NetLogger(env, host="h", prog="p")
+    log.event("ev", **fields)
+    back = parse_ulm(log.records[0].to_ulm())
+    assert back.fields == {k.lower(): str(v) for k, v in fields.items()}

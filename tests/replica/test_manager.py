@@ -1,0 +1,116 @@
+"""Tests for the replica manager (publish / replicate / verify)."""
+
+import pytest
+
+from repro.replica import ReplicaError
+from repro.scenarios import EsgTestbed
+
+from tests.gridftp.conftest import Grid
+
+
+def grid_with_manager():
+    from repro.replica import ReplicaCatalog, ReplicaManager
+    g = Grid(seed=2)
+    catalog = ReplicaCatalog(g.env, name="t")
+    catalog.create_collection("coll")
+    manager = ReplicaManager(g.env, catalog, g.client)
+    return g, catalog, manager
+
+
+def test_publish_server_all_files():
+    g, catalog, manager = grid_with_manager()
+    for i in range(4):
+        g.server_fs.create(f"f{i}.nc", 1000 * (i + 1))
+    names = manager.publish_server("coll", "lbl", g.server,
+                                   register_sizes=True)
+    assert sorted(names) == [f"f{i}.nc" for i in range(4)]
+    locs = catalog.locations("coll")
+    assert len(locs) == 1
+    assert set(locs[0].files) == set(names)
+    assert catalog.logical_file_size("coll", "f2.nc") == 3000
+
+
+def test_publish_server_subset_and_missing():
+    g, catalog, manager = grid_with_manager()
+    g.server_fs.create("a.nc", 10)
+    manager.publish_server("coll", "lbl", g.server, files=["a.nc"])
+    with pytest.raises(ReplicaError, match="missing files"):
+        manager.publish_server("coll", "lbl2", g.server,
+                               files=["a.nc", "ghost.nc"])
+
+
+def test_coverage_counts():
+    g, catalog, manager = grid_with_manager()
+    g.server_fs.create("a.nc", 10)
+    g.server_fs.create("b.nc", 10)
+    manager.publish_server("coll", "l1", g.server)
+    catalog.register_location("coll", "l2", "gsiftp", "x.gov", 2811,
+                              "/d", files=["a.nc"])
+    cov = manager.coverage("coll")
+    assert cov == {"a.nc": 2, "b.nc": 1}
+
+
+def test_verify_location_detects_drift():
+    g, catalog, manager = grid_with_manager()
+    g.server_fs.create("a.nc", 10)
+    g.server_fs.create("b.nc", 10)
+    manager.publish_server("coll", "lbl", g.server)
+    g.server_fs.delete("b.nc")  # catalog is now stale
+    missing = manager.verify_location("coll", "lbl", g.server)
+    assert missing == ["b.nc"]
+    with pytest.raises(ReplicaError):
+        manager.verify_location("coll", "ghost", g.server)
+
+
+def test_replicate_file_creates_and_extends_location():
+    """Third-party replication through the ESG testbed catalogs."""
+    tb = EsgTestbed(seed=9, file_size_override=8 * 2**20)
+    tb.warm_nws(60.0)
+    ds = tb.dataset_ids()[0]
+    names = tb.metadata_catalog.resolve(ds, "tas")[:2]
+    ncar = tb.sites["ncar"]
+
+    def main():
+        s1 = yield from tb.replica_manager.replicate_file(
+            tb.client_host, ds, names[0], "ncar-extra", ncar.server)
+        s2 = yield from tb.replica_manager.replicate_file(
+            tb.client_host, ds, names[1], "ncar-extra", ncar.server)
+        return s1, s2
+
+    s1, s2 = tb.run_process(main())
+    assert s1.transferred_bytes == pytest.approx(8 * 2**20)
+    locs = {l.name: l for l in tb.replica_catalog.locations(ds)}
+    assert set(locs["ncar-extra"].files) == set(names)
+    assert tb.replica_manager.copies_made == 2
+    assert ncar.fs.exists(names[0])
+
+
+def test_replicate_unknown_file_raises():
+    tb = EsgTestbed(seed=9)
+    ds = tb.dataset_ids()[0]
+
+    def main():
+        with pytest.raises(ReplicaError, match="no replica"):
+            yield from tb.replica_manager.replicate_file(
+                tb.client_host, ds, "ghost.nc", "x",
+                tb.sites["ncar"].server)
+        yield tb.env.timeout(0)
+
+    tb.run_process(main())
+
+
+def test_replicate_without_client_raises():
+    from repro.replica import ReplicaCatalog, ReplicaManager
+    from repro.sim import Environment
+    env = Environment()
+    catalog = ReplicaCatalog(env)
+    catalog.create_collection("c")
+    manager = ReplicaManager(env, catalog, client=None)
+
+    def main():
+        with pytest.raises(ReplicaError, match="no GridFTP client"):
+            yield from manager.replicate_file(None, "c", "f", "l", None)
+        yield env.timeout(0)
+
+    p = env.process(main())
+    env.run()

@@ -1,0 +1,91 @@
+"""Tests for flexible logical→physical mappings (§6.2 future work)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replica.mapping import MappingRule, MappingTable
+
+
+def test_literal_rule():
+    rule = MappingRule("exact.nc", "gsiftp://h:2811/d/exact.nc")
+    assert rule.matches("exact.nc")
+    assert not rule.matches("other.nc")
+    assert rule.map("exact.nc") == "gsiftp://h:2811/d/exact.nc"
+    assert rule.map("other.nc") is None
+
+
+def test_wildcard_capture_groups():
+    rule = MappingRule("pcmdi.*.1998.*.nc",
+                       "gsiftp://sprite.llnl.gov:2811/esg/{1}/1998/{2}.nc")
+    url = rule.map("pcmdi.ncar_csm.1998.m07.nc")
+    assert url == "gsiftp://sprite.llnl.gov:2811/esg/ncar_csm/1998/m07.nc"
+    assert rule.map("pcmdi.ncar_csm.1999.m07.nc") is None
+
+
+def test_name_substitution():
+    rule = MappingRule("*.nc", "http://dods.anl.gov/data/{name}")
+    assert rule.map("a.nc") == "http://dods.anl.gov/data/a.nc"
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError):
+        MappingRule("", "x")
+    with pytest.raises(ValueError):
+        MappingRule("x", "")
+
+
+def test_table_first_match_wins():
+    table = MappingTable()
+    table.add_rule("special.nc", "gsiftp://fast.gov/cache/special.nc")
+    table.add_rule("*.nc", "gsiftp://archive.gov/all/{name}")
+    assert table.resolve("special.nc") == \
+        "gsiftp://fast.gov/cache/special.nc"
+    assert table.resolve("other.nc") == \
+        "gsiftp://archive.gov/all/other.nc"
+    assert table.resolve("nomatch.dat") is None
+    assert len(table) == 2
+
+
+def test_table_resolve_all_gives_every_replica():
+    table = MappingTable()
+    table.add_rule("*.nc", "gsiftp://a.gov/d/{name}")
+    table.add_rule("*.nc", "gsiftp://b.gov/d/{name}")
+    table.add_rule("*.nc", "gsiftp://a.gov/d/{name}")  # duplicate URL
+    urls = table.resolve_all("x.nc")
+    assert urls == ["gsiftp://a.gov/d/x.nc", "gsiftp://b.gov/d/x.nc"]
+
+
+def test_pattern_location_replaces_enumeration():
+    """One rule covers what a filename-enumerating location needed
+    thousands of entries for."""
+    table = MappingTable()
+    table.add_rule("pcmdi.*.nc", "gsiftp://sprite.llnl.gov:2811/esg/{1}.nc")
+    names = [f"pcmdi.run{i}.{y}.m{m:02d}.nc"
+             for i in range(3) for y in (1998, 1999)
+             for m in range(1, 13)]
+    resolved = [table.resolve(n) for n in names]
+    assert all(r is not None for r in resolved)
+    assert len(set(resolved)) == len(names)
+    assert len(table) == 1
+
+
+@given(st.text(alphabet="abc.", min_size=1, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_property_star_matches_everything(name):
+    rule = MappingRule("*", "x/{name}")
+    assert rule.map(name) == f"x/{name}"
+
+
+@given(st.text(alphabet="ab", min_size=0, max_size=8),
+       st.text(alphabet="ab", min_size=0, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_property_prefix_suffix_pattern(prefix, suffix):
+    rule = MappingRule(f"{prefix}*{suffix}", "{1}")
+    middle = "XYZ"
+    name = prefix + middle + suffix
+    mapped = rule.map(name)
+    assert mapped is not None
+    # Lazy capture: the group plus pattern context reassembles the name.
+    assert prefix + mapped + suffix == prefix + middle + suffix or \
+        rule.matches(name)

@@ -1,0 +1,263 @@
+"""Tests for generator-coroutine processes."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Interrupt
+
+
+def test_process_runs_and_returns_value():
+    env = Environment()
+
+    def body(env):
+        yield env.timeout(2.0)
+        return "result"
+
+    p = env.process(body(env))
+    env.run()
+    assert not p.is_alive
+    assert p.value == "result"
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def body(env):
+        yield 42
+
+    env.process(body(env))
+    with pytest.raises(TypeError):
+        env.run()
+
+
+def test_waiting_on_another_process_gets_its_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(3.0)
+        return "child-value"
+
+    def parent(env):
+        value = yield env.process(child(env))
+        return (env.now, value)
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == (3.0, "child-value")
+
+
+def test_yielding_already_finished_process_resumes_immediately():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        return "early"
+
+    child_proc = env.process(child(env))
+
+    def parent(env):
+        yield env.timeout(10.0)
+        value = yield child_proc
+        return (env.now, value)
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == (10.0, "early")
+
+
+def test_process_failure_propagates_to_waiter():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        raise ValueError("inner failure")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == "caught inner failure"
+
+
+def test_unhandled_process_failure_raises_from_run():
+    env = Environment()
+
+    def body(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    env.process(body(env))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_interrupt_wakes_process_with_cause():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as i:
+            log.append((env.now, i.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(5.0)
+        victim.interrupt(cause="wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [(5.0, "wake up")]
+
+
+def test_interrupted_process_does_not_get_stale_wakeup():
+    env = Environment()
+    resumes = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(10.0)
+            resumes.append("timeout")
+        except Interrupt:
+            resumes.append("interrupt")
+        yield env.timeout(50.0)
+        resumes.append("second sleep done")
+
+    def interrupter(env, victim):
+        yield env.timeout(1.0)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    # The original 10 s timeout must not resume the process a second time.
+    assert resumes == ["interrupt", "second sleep done"]
+    assert env.now == 51.0
+
+
+def test_interrupt_dead_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_self_interrupt_rejected():
+    env = Environment()
+
+    def body(env):
+        with pytest.raises(RuntimeError):
+            env.active_process.interrupt()
+        yield env.timeout(1.0)
+
+    env.process(body(env))
+    env.run()
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def body(env):
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(5.0, value="b")
+        results = yield AllOf(env, [t1, t2])
+        return (env.now, sorted(results.values()))
+
+    p = env.process(body(env))
+    env.run()
+    assert p.value == (5.0, ["a", "b"])
+
+
+def test_any_of_fires_on_first_event():
+    env = Environment()
+
+    def body(env):
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(5.0, value="slow")
+        results = yield AnyOf(env, [t1, t2])
+        return (env.now, list(results.values()))
+
+    p = env.process(body(env))
+    env.run()
+    assert p.value == (1.0, ["fast"])
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+
+    def body(env):
+        results = yield AllOf(env, [])
+        return results
+
+    p = env.process(body(env))
+    env.run()
+    assert p.value == {}
+
+
+def test_condition_propagates_child_failure():
+    env = Environment()
+
+    def failer(env):
+        yield env.timeout(1.0)
+        raise KeyError("bad child")
+
+    def body(env):
+        try:
+            yield AllOf(env, [env.timeout(9.0), env.process(failer(env))])
+        except KeyError:
+            return "failed"
+
+    p = env.process(body(env))
+    env.run()
+    assert p.value == "failed"
+
+
+def test_nested_processes_three_deep():
+    env = Environment()
+
+    def level3(env):
+        yield env.timeout(1.0)
+        return 3
+
+    def level2(env):
+        v = yield env.process(level3(env))
+        yield env.timeout(1.0)
+        return v + 10
+
+    def level1(env):
+        v = yield env.process(level2(env))
+        return v + 100
+
+    p = env.process(level1(env))
+    env.run()
+    assert p.value == 113
+    assert env.now == 2.0
+
+
+def test_many_concurrent_processes_complete():
+    env = Environment()
+    done = []
+
+    def worker(env, i):
+        yield env.timeout(i % 7)
+        done.append(i)
+
+    for i in range(200):
+        env.process(worker(env, i))
+    env.run()
+    assert sorted(done) == list(range(200))

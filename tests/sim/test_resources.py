@@ -1,0 +1,260 @@
+"""Tests for Resource / PriorityResource / Store / Container."""
+
+import pytest
+
+from repro.sim import Container, Environment, PriorityResource, Resource, Store
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    log = []
+
+    def user(env, res, name, hold):
+        req = res.request()
+        yield req
+        log.append((env.now, name, "got"))
+        yield env.timeout(hold)
+        res.release(req)
+
+    env.process(user(env, res, "a", 5))
+    env.process(user(env, res, "b", 5))
+    env.process(user(env, res, "c", 5))
+    env.run()
+    times = {name: t for t, name, _ in log}
+    assert times["a"] == 0 and times["b"] == 0
+    assert times["c"] == 5  # had to wait for a slot
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, res, name):
+        req = res.request()
+        yield req
+        order.append(name)
+        yield env.timeout(1)
+        res.release(req)
+
+    for name in "abcd":
+        env.process(user(env, res, name))
+    env.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_resource_release_without_grant_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    granted = res.request()
+    waiting = res.request()
+    with pytest.raises(RuntimeError):
+        res.release(waiting)
+    res.release(granted)
+
+
+def test_resource_cancel_waiting_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    first = res.request()
+    second = res.request()
+    third = res.request()
+    second.cancel()
+    res.release(first)
+    env.run()
+    assert third.triggered
+    assert not second.triggered
+
+
+def test_resource_cancel_granted_request_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    with pytest.raises(RuntimeError):
+        req.cancel()
+
+
+def test_resource_counts():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    r1 = res.request()
+    res.request()
+    res.request()
+    assert res.count == 2
+    assert res.queue_length == 1
+    res.release(r1)
+    assert res.count == 2
+    assert res.queue_length == 0
+
+
+def test_capacity_must_be_positive():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_priority_resource_grants_lowest_priority_first():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def user(env, res, name, prio, delay):
+        yield env.timeout(delay)
+        req = res.request(priority=prio)
+        yield req
+        order.append(name)
+        yield env.timeout(10)
+        res.release(req)
+
+    env.process(user(env, res, "holder", 0, 0))
+    env.process(user(env, res, "low", 5, 1))
+    env.process(user(env, res, "high", 1, 2))
+    env.run()
+    assert order == ["holder", "high", "low"]
+
+
+def test_store_fifo_put_get():
+    env = Environment()
+    store = Store(env)
+
+    def producer(env, store):
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1)
+
+    def consumer(env, store, out):
+        for _ in range(3):
+            item = yield store.get()
+            out.append((env.now, item))
+
+    out = []
+    env.process(producer(env, store))
+    env.process(consumer(env, store, out))
+    env.run()
+    assert [item for _, item in out] == [0, 1, 2]
+
+
+def test_store_get_blocks_until_item_available():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env, store):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer(env, store):
+        yield env.timeout(7)
+        yield store.put("late item")
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert got == [(7.0, "late item")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    events = []
+
+    def producer(env, store):
+        yield store.put("a")
+        events.append(("a in", env.now))
+        yield store.put("b")
+        events.append(("b in", env.now))
+
+    def consumer(env, store):
+        yield env.timeout(5)
+        yield store.get()
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert events == [("a in", 0.0), ("b in", 5.0)]
+
+
+def test_store_get_with_predicate_picks_matching_item():
+    env = Environment()
+    store = Store(env)
+    store.put("apple")
+    store.put("banana")
+    store.put("cherry")
+
+    def consumer(env, store):
+        item = yield store.get(lambda s: s.startswith("b"))
+        return item
+
+    p = env.process(consumer(env, store))
+    env.run()
+    assert p.value == "banana"
+    assert list(store.items) == ["apple", "cherry"]
+
+
+def test_container_levels():
+    env = Environment()
+    c = Container(env, capacity=100, init=50)
+    assert c.level == 50
+    c.put(25)
+    env.run()
+    assert c.level == 75
+    c.get(70)
+    env.run()
+    assert c.level == 5
+
+
+def test_container_get_blocks_until_level_sufficient():
+    env = Environment()
+    c = Container(env, capacity=100, init=0)
+    got = []
+
+    def consumer(env, c):
+        yield c.get(10)
+        got.append(env.now)
+
+    def producer(env, c):
+        for _ in range(10):
+            yield env.timeout(1)
+            yield c.put(1)
+
+    env.process(consumer(env, c))
+    env.process(producer(env, c))
+    env.run()
+    assert got == [10.0]
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    c = Container(env, capacity=10, init=10)
+    done = []
+
+    def producer(env, c):
+        yield c.put(5)
+        done.append(env.now)
+
+    def consumer(env, c):
+        yield env.timeout(3)
+        yield c.get(5)
+
+    env.process(producer(env, c))
+    env.process(consumer(env, c))
+    env.run()
+    assert done == [3.0]
+
+
+def test_container_init_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=10, init=20)
+    with pytest.raises(ValueError):
+        Container(env, capacity=10, init=-1)
+
+
+def test_container_negative_amounts_rejected():
+    env = Environment()
+    c = Container(env, capacity=10)
+    with pytest.raises(ValueError):
+        c.put(-1)
+    with pytest.raises(ValueError):
+        c.get(-1)

@@ -1,0 +1,128 @@
+"""Tests for the LRU disk cache, including hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+from repro.storage import DiskCache, FileObject, NoSpaceError
+
+
+def cache(capacity=100.0):
+    return DiskCache(Environment(), capacity=capacity)
+
+
+def test_put_get_hit_miss_accounting():
+    c = cache()
+    c.put(FileObject("a", 10))
+    assert c.get("a").name == "a"
+    assert c.get("b") is None
+    assert (c.hits, c.misses) == (1, 1)
+
+
+def test_lru_eviction_order():
+    c = cache(capacity=30)
+    for name in ("a", "b", "c"):
+        c.put(FileObject(name, 10))
+    c.get("a")  # a becomes most recent
+    c.put(FileObject("d", 10))  # evicts b (LRU)
+    assert c.get("b") is None
+    assert c.get("a") is not None
+    assert c.evictions == 1
+
+
+def test_contains_touches():
+    c = cache(capacity=20)
+    c.put(FileObject("a", 10))
+    c.put(FileObject("b", 10))
+    assert c.contains("a")  # touch a
+    c.put(FileObject("c", 10))  # must evict b, not a
+    assert c.get("a") is not None
+    assert c.get("b") is None
+
+
+def test_pinned_entries_survive_eviction():
+    c = cache(capacity=30)
+    c.put(FileObject("keep", 10))
+    c.pin("keep")
+    c.put(FileObject("b", 10))
+    c.put(FileObject("c", 10))
+    c.put(FileObject("d", 10))  # must evict b or c, not keep
+    assert c.get("keep") is not None
+
+
+def test_all_pinned_raises_no_space():
+    c = cache(capacity=20)
+    c.put(FileObject("a", 10))
+    c.put(FileObject("b", 10))
+    c.pin("a")
+    c.pin("b")
+    with pytest.raises(NoSpaceError):
+        c.put(FileObject("c", 10))
+
+
+def test_oversized_file_rejected():
+    c = cache(capacity=10)
+    with pytest.raises(NoSpaceError):
+        c.put(FileObject("huge", 11))
+
+
+def test_pin_unpin_nesting():
+    c = cache()
+    c.put(FileObject("a", 10))
+    c.pin("a")
+    c.pin("a")
+    c.unpin("a")
+    assert c.is_pinned("a")
+    c.unpin("a")
+    assert not c.is_pinned("a")
+    with pytest.raises(RuntimeError):
+        c.unpin("a")
+
+
+def test_pin_absent_raises():
+    c = cache()
+    with pytest.raises(KeyError):
+        c.pin("ghost")
+
+
+def test_invalidate():
+    c = cache()
+    c.put(FileObject("a", 10))
+    c.invalidate("a")
+    assert c.get("a") is None
+    assert c.used == 0
+    c.invalidate("a")  # idempotent
+    c.put(FileObject("b", 10))
+    c.pin("b")
+    with pytest.raises(RuntimeError):
+        c.invalidate("b")
+
+
+def test_duplicate_put_is_touch_not_double_count():
+    c = cache(capacity=100)
+    c.put(FileObject("a", 10))
+    c.put(FileObject("a", 10))
+    assert c.used == 10
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        DiskCache(Environment(), capacity=0)
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(1, 30)),
+                min_size=1, max_size=60))
+@settings(max_examples=80, deadline=None)
+def test_property_used_never_exceeds_capacity(ops):
+    """Whatever the access pattern, used <= capacity and used equals the
+    sum of resident entry sizes."""
+    c = DiskCache(Environment(), capacity=100)
+    for key, size in ops:
+        try:
+            c.put(FileObject(f"f{key}", float(size)))
+        except NoSpaceError:
+            pass
+    assert c.used <= c.capacity
+    assert c.used == pytest.approx(
+        sum(e.size for e in c._entries.values()))

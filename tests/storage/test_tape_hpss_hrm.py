@@ -1,0 +1,307 @@
+"""Tests for tape library, HPSS-like MSS, and the HRM."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.storage import (
+    FileObject,
+    FileSystem,
+    HierarchicalResourceManager,
+    MassStorageSystem,
+    TapeLibrary,
+    TapeSpec,
+)
+
+MB = 2 ** 20
+
+
+def library(drives=1, **kw):
+    env = Environment()
+    spec = TapeSpec(read_rate=10 * MB, mount_time=40.0, max_seek_time=60.0,
+                    rewind_time=20.0, **kw)
+    return env, TapeLibrary(env, drives=drives, spec=spec)
+
+
+def test_tape_spec_validation():
+    with pytest.raises(ValueError):
+        TapeSpec(read_rate=0)
+    with pytest.raises(ValueError):
+        TapeSpec(mount_time=-1)
+    spec = TapeSpec()
+    with pytest.raises(ValueError):
+        spec.seek_time(1.5)
+
+
+def test_read_costs_mount_seek_stream():
+    env, lib = library()
+    lib.register(FileObject("f", 100 * MB), tape="T1", position=0.5)
+
+    def main(env, lib):
+        f = yield from lib.read("f")
+        return (env.now, f.name)
+
+    p = env.process(main(env, lib))
+    env.run()
+    t, name = p.value
+    # mount 40 + seek 30 + stream 10 s
+    assert t == pytest.approx(40 + 30 + 10)
+    assert name == "f"
+    assert lib.drives[0].mounts == 1
+
+
+def test_same_tape_reuse_skips_mount():
+    env, lib = library()
+    lib.register(FileObject("f1", 10 * MB), tape="T1", position=0.0)
+    lib.register(FileObject("f2", 10 * MB), tape="T1", position=0.1)
+
+    def main(env, lib):
+        yield from lib.read("f1")
+        t_mid = env.now
+        yield from lib.read("f2")
+        return (t_mid, env.now)
+
+    p = env.process(main(env, lib))
+    env.run()
+    t_mid, t_end = p.value
+    assert t_mid == pytest.approx(40 + 0 + 1)
+    # second read: no mount, just seek 6 + stream 1
+    assert t_end - t_mid == pytest.approx(6 + 1)
+
+
+def test_tape_switch_pays_rewind_and_mount():
+    env, lib = library()
+    lib.register(FileObject("f1", 10 * MB), tape="T1", position=0.0)
+    lib.register(FileObject("f2", 10 * MB), tape="T2", position=0.0)
+
+    def main(env, lib):
+        yield from lib.read("f1")
+        t_mid = env.now
+        yield from lib.read("f2")
+        return env.now - t_mid
+
+    p = env.process(main(env, lib))
+    env.run()
+    assert p.value == pytest.approx(20 + 40 + 0 + 1)  # rewind+mount+stream
+
+
+def test_drive_contention_serializes():
+    env, lib = library(drives=1)
+    lib.register(FileObject("f1", 10 * MB), tape="T1", position=0.0)
+    lib.register(FileObject("f2", 10 * MB), tape="T2", position=0.0)
+    done = []
+
+    def reader(env, lib, name):
+        yield from lib.read(name)
+        done.append((name, env.now))
+
+    env.process(reader(env, lib, "f1"))
+    env.process(reader(env, lib, "f2"))
+    env.run()
+    times = dict(done)
+    assert times["f1"] == pytest.approx(41.0)
+    assert times["f2"] == pytest.approx(41 + 20 + 40 + 1)
+
+
+def test_two_drives_parallel():
+    env, lib = library(drives=2)
+    lib.register(FileObject("f1", 10 * MB), tape="T1", position=0.0)
+    lib.register(FileObject("f2", 10 * MB), tape="T2", position=0.0)
+    done = []
+
+    def reader(env, lib, name):
+        yield from lib.read(name)
+        done.append(env.now)
+
+    env.process(reader(env, lib, "f1"))
+    env.process(reader(env, lib, "f2"))
+    env.run()
+    assert done == [pytest.approx(41.0), pytest.approx(41.0)]
+
+
+def test_unknown_file_raises():
+    env, lib = library()
+    with pytest.raises(KeyError):
+        list(lib.read("ghost"))
+
+
+# -- MSS -----------------------------------------------------------------------
+
+def mss_fixture(cache_capacity=500 * MB):
+    env = Environment()
+    mss = MassStorageSystem(env, cache_capacity=cache_capacity, drives=1)
+    return env, mss
+
+
+def test_mss_cache_hit_is_instant():
+    env, mss = mss_fixture()
+    mss.archive(FileObject("f", 100 * MB), tape="T1", position=0.0)
+
+    def main(env, mss):
+        yield from mss.retrieve("f")
+        t_first = env.now
+        yield from mss.retrieve("f")
+        return (t_first, env.now)
+
+    p = env.process(main(env, mss))
+    env.run()
+    t_first, t_second = p.value
+    assert t_first > 0
+    assert t_second == t_first  # hit: no time passes
+    assert mss.stage_count == 1
+    assert mss.is_staged("f")
+
+
+def test_mss_estimate():
+    env, mss = mss_fixture()
+    mss.archive(FileObject("f", 140 * MB), tape="T1", position=0.0)
+    est = mss.estimate_retrieve_time("f")
+    assert est == pytest.approx(10.0)  # 140 MB / 14 MB/s, no mount counted
+
+
+def test_mss_has():
+    env, mss = mss_fixture()
+    mss.archive(FileObject("f", MB), tape="T1", position=0.0)
+    assert mss.has("f")
+    assert not mss.has("ghost")
+
+
+# -- HRM -----------------------------------------------------------------------
+
+def hrm_fixture():
+    env = Environment()
+    mss = MassStorageSystem(env, cache_capacity=500 * MB, drives=1)
+    serve_fs = FileSystem(env, "hrm-disk")
+    hrm = HierarchicalResourceManager(env, mss, serve_fs)
+    return env, mss, serve_fs, hrm
+
+
+def test_hrm_stage_publishes_to_serving_fs():
+    env, mss, serve_fs, hrm = hrm_fixture()
+    mss.archive(FileObject("f", 140 * MB), tape="T1", position=0.0)
+    req = hrm.request_stage("f")
+
+    def main(env, req):
+        file = yield req.ready
+        return file.name
+
+    p = env.process(main(env, req))
+    env.run()
+    assert p.value == "f"
+    assert serve_fs.exists("f")
+    assert req.stage_time > 0
+    assert mss.cache.is_pinned("f")
+    hrm.release("f")
+    assert not mss.cache.is_pinned("f")
+
+
+def test_hrm_deduplicates_concurrent_requests():
+    env, mss, serve_fs, hrm = hrm_fixture()
+    mss.archive(FileObject("f", 140 * MB), tape="T1", position=0.0)
+    r1 = hrm.request_stage("f")
+    r2 = hrm.request_stage("f")
+    assert r1 is r2
+    assert r1.waiters == 2
+    env.run()
+    assert mss.stage_count == 1
+
+
+def test_hrm_already_staged_completes_immediately():
+    env, mss, serve_fs, hrm = hrm_fixture()
+    mss.archive(FileObject("f", 14 * MB), tape="T1", position=0.0)
+    env.run(until=hrm.request_stage("f").ready)
+    hrm.release("f")
+    t = env.now
+    req2 = hrm.request_stage("f")
+    assert req2.ready.triggered
+    assert req2.completed_at == t
+    env.run()
+
+
+def test_hrm_stage_failure_propagates():
+    env, mss, serve_fs, hrm = hrm_fixture()
+    req = hrm.request_stage("ghost")
+    with pytest.raises(KeyError):
+        env.run(until=req.ready)
+
+
+def test_hrm_estimate_wait():
+    env, mss, serve_fs, hrm = hrm_fixture()
+    mss.archive(FileObject("f", 140 * MB), tape="T1", position=0.0)
+    assert hrm.estimate_wait("f") > 0
+    env.run(until=hrm.request_stage("f").ready)
+    assert hrm.estimate_wait("f") == 0.0
+
+
+# -- tape writes / archive ingest ------------------------------------------------
+
+def test_tape_write_then_read_roundtrip():
+    env, lib = library()
+
+    def main(env, lib):
+        yield from lib.write(FileObject("new.nc", 50 * MB), "T9", 0.3)
+        t_written = env.now
+        f = yield from lib.read("new.nc")
+        return t_written, env.now, f.name
+
+    p = env.process(main(env, lib))
+    env.run()
+    t_written, t_end, name = p.value
+    # write: mount 40 + seek 18 + stream 5
+    assert t_written == pytest.approx(40 + 18 + 5)
+    # read reuses the mounted tape: seek 18 + stream 5
+    assert t_end - t_written == pytest.approx(18 + 5)
+    assert name == "new.nc"
+
+
+def test_tape_write_position_validation():
+    env, lib = library()
+    with pytest.raises(ValueError):
+        list(lib.write(FileObject("x", 1), "T", 1.5))
+
+
+def test_mss_store_keeps_cache_copy_and_migrates():
+    env, mss = mss_fixture()
+
+    def main(env, mss):
+        yield from mss.store(FileObject("fresh.nc", 140 * MB), "T2", 0.0)
+        return env.now
+
+    p = env.process(main(env, mss))
+    env.run()
+    assert mss.migrations == 1
+    assert mss.is_staged("fresh.nc")          # readable from cache
+    assert mss.tape.has("fresh.nc")           # durable on tape
+    assert not mss.cache.is_pinned("fresh.nc")  # unpinned after migration
+
+    def reread(env, mss):
+        t0 = env.now
+        yield from mss.retrieve("fresh.nc")
+        return env.now - t0
+
+    p2 = env.process(reread(env, mss))
+    env.run()
+    assert p2.value == 0.0  # cache hit: no tape involved
+    assert mss.stage_count == 0
+
+
+def test_mss_store_contends_with_staging():
+    """An ingest and a stage share the single drive."""
+    env, mss = mss_fixture()
+    mss.archive(FileObject("old.nc", 140 * MB), tape="T1", position=0.0)
+    done = []
+
+    def ingest(env, mss):
+        yield from mss.store(FileObject("new.nc", 140 * MB), "T2", 0.0)
+        done.append(("ingest", env.now))
+
+    def stage(env, mss):
+        yield from mss.retrieve("old.nc")
+        done.append(("stage", env.now))
+
+    env.process(ingest(env, mss))
+    env.process(stage(env, mss))
+    env.run()
+    times = dict(done)
+    # Serialized on the one drive: the later finisher waits for the
+    # earlier one plus a cartridge swap.
+    assert abs(times["ingest"] - times["stage"]) > 40.0
