@@ -134,8 +134,13 @@ class ClientSession:
             handle.total = nbytes
         src = self.server.data_node
         dst = dest_host.store_node
-        yield from self._pump_blocks(path, src, dst, nbytes, cfg, stats,
-                                     handle, record)
+        # Register with the server so a crash drops this transfer.
+        self.server.register_handle(handle)
+        try:
+            yield from self._pump_blocks(path, src, dst, nbytes, cfg, stats,
+                                         handle, record)
+        finally:
+            self.server.unregister_handle(handle)
         # 226 closing data connection.
         yield from self._command()
         name = dest_name or path
@@ -346,6 +351,10 @@ class GridFtpClient:
         if server is None:
             raise GridFtpError(FtpReply(CANT_OPEN_DATA,
                                         f"unknown server {hostname!r}"))
+        if not server.up:
+            raise GridFtpError(FtpReply(
+                CANT_OPEN_DATA, f"server {hostname} refused connection "
+                "(down)"))
         cfg = config or self.config
         try:
             control = yield from self.transport.connect(

@@ -93,6 +93,12 @@ class GridFtpConfig:
     loss_rate:
         Random-loss events per second per data stream (models shared /
         congested paths; 0 = clean path).
+    fallback_bandwidth:
+        Bytes/s assumed for a replica whose path has no NWS forecast
+        (degraded-mode ranking); pessimistic by design so measured paths
+        win.
+    fallback_latency:
+        One-way seconds assumed for an unmeasured path.
     """
 
     parallelism: int = 1
@@ -103,6 +109,8 @@ class GridFtpConfig:
     retry_backoff: float = 5.0
     progress_poll: float = 2.0
     loss_rate: float = 0.0
+    fallback_bandwidth: float = 125000.0  # 1 Mb/s
+    fallback_latency: float = 0.1
 
     def __post_init__(self) -> None:
         if self.parallelism < 1:
@@ -117,6 +125,8 @@ class GridFtpConfig:
             raise ValueError("progress_poll must be positive")
         if self.loss_rate < 0:
             raise ValueError("loss_rate must be >= 0")
+        if self.fallback_bandwidth <= 0 or self.fallback_latency < 0:
+            raise ValueError("bad fallback path configuration")
 
 
 @dataclass

@@ -10,6 +10,7 @@ get and re-issues it against the next-best replica.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -76,3 +77,13 @@ class ReliabilityPolicy:
     def reset(self) -> None:
         """Forget accumulated low samples (new attempt started)."""
         self._low_count = 0
+
+    def clone(self) -> "ReliabilityPolicy":
+        """A pristine copy of this policy (no accumulated samples).
+
+        Each transfer attempt gets its own instance so concurrent file
+        threads never share low-rate counters; ``dataclasses.replace``
+        copies every field, so policies grown new attributes clone
+        correctly without call-site updates.
+        """
+        return dataclasses.replace(self)

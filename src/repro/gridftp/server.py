@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.gridftp.protocol import (
+    ACTION_NOT_TAKEN,
     FILE_UNAVAILABLE,
     FtpReply,
     GridFtpError,
@@ -21,7 +22,7 @@ from repro.gsi.auth import AuthenticationError, GsiContext
 from repro.hosts.host import Host
 from repro.sim.core import Environment
 from repro.storage.filesystem import FileObject, FileSystem
-from repro.storage.hrm import HierarchicalResourceManager
+from repro.storage.hrm import HierarchicalResourceManager, StagingError
 
 # An ERET plugin: (file, args) -> (derived_size, derived_content|None).
 EretPlugin = Callable[[FileObject, dict], Tuple[float, Optional[bytes]]]
@@ -63,6 +64,32 @@ class GridFtpServer:
         self.bytes_served = 0.0
         self.transfers_served = 0
         self.auth_failures = 0
+        self.up = True
+        self.crashes = 0
+        self._active_handles: set = set()
+
+    # -- fault injection ---------------------------------------------------
+    def register_handle(self, handle) -> None:
+        """Track an in-flight transfer so a crash can drop it."""
+        self._active_handles.add(handle)
+
+    def unregister_handle(self, handle) -> None:
+        """Forget a transfer that finished (or already aborted)."""
+        self._active_handles.discard(handle)
+
+    def crash(self) -> None:
+        """Go down: refuse new connections, abort in-flight transfers."""
+        if not self.up:
+            return
+        self.up = False
+        self.crashes += 1
+        for handle in list(self._active_handles):
+            handle.abort(f"server {self.hostname} crashed")
+        self._active_handles.clear()
+
+    def restart(self) -> None:
+        """Come back up; clients must reconnect."""
+        self.up = True
 
     # -- endpoints ---------------------------------------------------------
     @property
@@ -122,6 +149,9 @@ class GridFtpServer:
         ERET plug-in, validates the partial-retrieval window, and returns
         ``(bytes_to_send, content_or_None)``.
         """
+        if not self.up:
+            raise GridFtpError(FtpReply(
+                ACTION_NOT_TAKEN, f"server {self.hostname} is down"))
         file = yield from self._materialize(path)
         content = file.content
         size = file.size
@@ -178,8 +208,15 @@ class GridFtpServer:
         if self.fs.exists(path):
             return self.fs.stat(path)
         if self.hrm is not None and self.hrm.mss.has(path):
-            req = self.hrm.request_stage(path)
-            file = yield req.ready
+            try:
+                req = self.hrm.request_stage(path)
+                file = yield req.ready
+            except StagingError as exc:
+                # Surface tape/HRM failures as a transient 450 so the RM
+                # can classify and retry elsewhere.
+                raise GridFtpError(FtpReply(
+                    ACTION_NOT_TAKEN, f"{path}: staging failed: {exc}")) \
+                    from exc
             return file
         raise GridFtpError(FtpReply(FILE_UNAVAILABLE,
                                     f"{path}: no such file"))

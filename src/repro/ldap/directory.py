@@ -14,6 +14,10 @@ class DirectoryError(Exception):
     """Directory operation failed (missing entry, duplicate, orphan...)."""
 
 
+class DirectoryUnavailable(DirectoryError):
+    """The server is inside a scheduled outage window (transient)."""
+
+
 class Scope(enum.Enum):
     """LDAP search scopes."""
 
@@ -76,6 +80,45 @@ class DirectoryServer:
         self._children: Dict[DN, set] = {}
         self.operations = 0  # instrumentation
         self.entries_scanned = 0
+        self._outages: List[tuple] = []  # (start, end, mode)
+        self.outage_hits = 0
+
+    # -- fault injection ---------------------------------------------------------
+    def add_outage(self, start: float, duration: float,
+                   mode: str = "fail") -> None:
+        """Schedule an unavailability window in absolute simulation time.
+
+        mode="fail": timed operations pay their latency then raise
+        :class:`DirectoryUnavailable`. mode="hang": they block until the
+        window ends, then proceed normally (a wedged server that
+        eventually recovers).
+        """
+        if duration <= 0:
+            raise ValueError("outage duration must be positive")
+        if mode not in ("fail", "hang"):
+            raise ValueError("outage mode must be 'fail' or 'hang'")
+        self._outages.append((float(start), float(start) + float(duration),
+                              mode))
+
+    def _outage_at(self, now: float):
+        for start, end, mode in self._outages:
+            if start <= now < end:
+                return end, mode
+        return None
+
+    def _outage_gate(self):
+        """Generator prelude applying any active outage window."""
+        window = self._outage_at(self.env.now)
+        if window is None:
+            return
+        end, mode = window
+        self.outage_hits += 1
+        if mode == "hang":
+            yield self.env.timeout(end - self.env.now)
+            return
+        yield self.env.timeout(self.base_latency)
+        raise DirectoryUnavailable(
+            f"{self.name}: directory unavailable until t={end:.1f}")
 
     # -- immediate (non-process) API: used by setup code -----------------------
     def add(self, dn: Union[str, DN], attributes: Dict) -> Entry:
@@ -175,6 +218,7 @@ class DirectoryServer:
               filter_text: str = "(objectclass=*)"):
         """Simulation process: a search costing latency + scan time."""
         self.operations += 1
+        yield from self._outage_gate()
         base = DN.of(base)
         n_candidates = (len(self._candidates(base, scope))
                         if base in self._entries else 0)
@@ -185,6 +229,7 @@ class DirectoryServer:
     def read(self, dn: Union[str, DN]):
         """Simulation process: a single-entry lookup costing latency."""
         self.operations += 1
+        yield from self._outage_gate()
         yield self.env.timeout(self.base_latency)
         return self.lookup(dn)
 

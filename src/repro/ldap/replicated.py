@@ -105,6 +105,16 @@ class ReplicatedDirectory:
         """Writes not yet propagated to replicas."""
         return len(self._pending)
 
+    def add_outage(self, start: float, duration: float,
+                   mode: str = "fail") -> None:
+        """Schedule an outage window on every member server.
+
+        A whole-service outage (the fault injector's "directory" kind):
+        with all members inside the window, reads cannot fail over.
+        """
+        for server in [self.primary] + self.replicas:
+            server.add_outage(start, duration, mode=mode)
+
     # -- write API (single master) ---------------------------------------------
     def add(self, dn: Union[str, DN], attributes: dict):
         """Write to the primary; queued for replication."""

@@ -37,7 +37,7 @@ from repro.net.tcp import TcpParams, TcpStream, bdp_buffer_size
 from repro.net.transport import Connection, ConnectionRefused, Transport
 from repro.net.background import BackgroundTraffic, LinkLoadModulator
 from repro.net.dns import DnsError, NameService
-from repro.net.faults import FaultInjector, FaultSchedule
+from repro.net.faults import Fault, FaultInjector, FaultSchedule
 
 __all__ = [
     "GB", "GIGABIT", "KB", "KILOBIT", "MB", "MEGABIT", "TB",
@@ -49,5 +49,5 @@ __all__ = [
     "TcpParams", "TcpStream", "bdp_buffer_size",
     "Connection", "ConnectionRefused", "Transport",
     "DnsError", "NameService",
-    "FaultInjector", "FaultSchedule",
+    "Fault", "FaultInjector", "FaultSchedule",
 ]

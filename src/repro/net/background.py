@@ -163,8 +163,12 @@ class LinkLoadModulator:
         self.load = (self.correlation * self.load
                      + (1 - self.correlation) * self.mean_load + noise)
         self.load = float(np.clip(self.load, self.floor, self.ceiling))
-        self.link.capacity = self.link.nominal_capacity * (1.0 - self.load)
         self.samples += 1
+        # Never resurrect a link held down/degraded by fault injection;
+        # the modulator resumes writing once every hold is released.
+        if getattr(self.link, "faulted", False):
+            return
+        self.link.capacity = self.link.nominal_capacity * (1.0 - self.load)
         self.network.reallocate()
 
     def _run(self):

@@ -1,4 +1,4 @@
-"""Fault injection: link, site, and DNS outages on a schedule.
+"""Fault injection: link, site, DNS, and control-plane outages on a schedule.
 
 The SC'2000 experiment of Figure 8 encountered "a power failure for the SC
 network (SCinet), DNS problems, and backbone problems on the exhibition
@@ -6,18 +6,35 @@ floor". :class:`FaultSchedule` declares such incidents; a
 :class:`FaultInjector` executes them against the live topology, taking
 links down (stalling every flow that crosses them) and restoring them
 later, triggering reallocation each time.
+
+Beyond the data plane, the schedule can express *control-plane* faults:
+
+- ``server`` — a GridFTP server crashes (drops in-flight transfers,
+  refuses new connections) and later restarts;
+- ``directory`` — an LDAP directory backing the replica catalog or MDS
+  becomes unavailable for a window (lookups raise, or hang until the
+  window ends, per ``mode``);
+- ``hrm`` — an HRM/tape system fails mid-stage and later recovers.
+
+Link state is reference-counted (see :class:`~repro.net.topology.Link`),
+so overlapping outage and degrade windows on the same link compose
+instead of the first ``restore()`` silently returning it to nominal.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Literal, Optional
+from typing import Dict, List, Literal, Optional
 
 from repro.net.dns import NameService
 from repro.net.fluid import FluidNetwork
 from repro.sim.core import Environment
 
-FaultKind = Literal["link", "site", "dns", "degrade"]
+FaultKind = Literal["link", "site", "dns", "degrade",
+                    "server", "directory", "hrm"]
+
+#: kinds whose targets live outside the topology
+_CONTROL_KINDS = ("server", "directory", "hrm")
 
 
 @dataclass(frozen=True)
@@ -25,10 +42,14 @@ class Fault:
     """One scheduled incident.
 
     ``target`` names a link (kind="link"/"degrade"), a site
-    (kind="site" — every link whose ``site`` matches goes down), or is
-    ignored (kind="dns"). ``fraction`` applies to "degrade": remaining
-    capacity as a fraction of nominal. ``start`` is measured from the
-    moment the schedule is installed (not absolute simulation time).
+    (kind="site" — every link whose ``site`` matches goes down), a
+    GridFTP hostname (kind="server"), a directory service
+    (kind="directory"), an HRM (kind="hrm"), or is ignored
+    (kind="dns"). ``fraction`` applies to "degrade": remaining capacity
+    as a fraction of nominal. ``mode`` applies to "directory": "fail"
+    makes lookups raise, "hang" makes them block until the window ends.
+    ``start`` is measured from the moment the schedule is installed (not
+    absolute simulation time).
     """
 
     kind: FaultKind
@@ -36,6 +57,7 @@ class Fault:
     start: float
     duration: float
     fraction: float = 0.0
+    mode: str = "fail"
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -43,6 +65,10 @@ class Fault:
             raise ValueError("fault needs start >= 0 and duration > 0")
         if self.kind == "degrade" and not (0.0 <= self.fraction < 1.0):
             raise ValueError("degrade fraction must be in [0, 1)")
+        if self.mode not in ("fail", "hang"):
+            raise ValueError("fault mode must be 'fail' or 'hang'")
+        if self.kind in _CONTROL_KINDS and not self.target:
+            raise ValueError(f"{self.kind} fault needs a target name")
 
 
 @dataclass
@@ -79,18 +105,60 @@ class FaultSchedule:
                                  fraction=fraction, description=description))
         return self
 
+    def server_outage(self, hostname: str, start: float, duration: float,
+                      description: str = "") -> "FaultSchedule":
+        """Crash the GridFTP server at ``hostname``; restart it later."""
+        self.faults.append(Fault("server", hostname, start, duration,
+                                 description=description))
+        return self
+
+    def catalog_outage(self, start: float, duration: float,
+                       mode: str = "fail",
+                       description: str = "") -> "FaultSchedule":
+        """Replica catalog directory unavailable for a window."""
+        self.faults.append(Fault("directory", "catalog", start, duration,
+                                 mode=mode, description=description))
+        return self
+
+    def mds_outage(self, start: float, duration: float, mode: str = "fail",
+                   description: str = "") -> "FaultSchedule":
+        """MDS/GIIS directory unavailable for a window."""
+        self.faults.append(Fault("directory", "mds", start, duration,
+                                 mode=mode, description=description))
+        return self
+
+    def hrm_outage(self, name: str, start: float, duration: float,
+                   description: str = "") -> "FaultSchedule":
+        """HRM/tape system fails mid-stage; recovers later."""
+        self.faults.append(Fault("hrm", name, start, duration,
+                                 description=description))
+        return self
+
     def __len__(self) -> int:
         return len(self.faults)
 
 
 class FaultInjector:
-    """Executes a :class:`FaultSchedule` against the live network."""
+    """Executes a :class:`FaultSchedule` against the live testbed.
+
+    ``servers`` maps hostname → :class:`~repro.gridftp.server.GridFtpServer`
+    (usually the RM's registry), ``directories`` maps a label (e.g.
+    "catalog", "mds") → a directory server exposing ``add_outage``, and
+    ``hrms`` maps name → :class:`~repro.storage.hrm.HierarchicalResourceManager`.
+    Only the maps a schedule actually targets need to be supplied.
+    """
 
     def __init__(self, env: Environment, network: FluidNetwork,
-                 name_service: Optional[NameService] = None):
+                 name_service: Optional[NameService] = None,
+                 servers: Optional[Dict[str, object]] = None,
+                 directories: Optional[Dict[str, object]] = None,
+                 hrms: Optional[Dict[str, object]] = None):
         self.env = env
         self.network = network
         self.name_service = name_service
+        self.servers = servers or {}
+        self.directories = directories or {}
+        self.hrms = hrms or {}
         self.log: List[tuple] = []  # (time, action, description)
 
     def install(self, schedule: FaultSchedule) -> None:
@@ -104,6 +172,29 @@ class FaultInjector:
                 self.name_service.add_outage(self.env.now + fault.start,
                                              fault.duration)
                 continue
+            if fault.kind == "directory":
+                directory = self.directories.get(fault.target)
+                if directory is None:
+                    raise KeyError(
+                        f"unknown directory service {fault.target!r}")
+                directory.add_outage(self.env.now + fault.start,
+                                     fault.duration, mode=fault.mode)
+                self.log.append((self.env.now, "directory scheduled",
+                                 fault.description or fault.target))
+                continue
+            if fault.kind == "server":
+                if fault.target not in self.servers:
+                    raise KeyError(f"unknown server {fault.target!r}")
+                self.env.process(self._run_server_fault(fault))
+                continue
+            if fault.kind == "hrm":
+                if fault.target not in self.hrms:
+                    raise KeyError(f"unknown hrm {fault.target!r}")
+                self.env.process(self._run_hrm_fault(fault))
+                continue
+            # link/site/degrade: validate the target eagerly so a typo
+            # raises at install time, not mid-simulation.
+            self._links_for(fault)
             self.env.process(self._run_fault(fault))
 
     def _links_for(self, fault: Fault):
@@ -126,7 +217,7 @@ class FaultInjector:
             yield self.env.timeout(fault.start)
         for link in links:
             if fault.kind == "degrade":
-                link.capacity = link.nominal_capacity * fault.fraction
+                link.degrade_hold(fault.fraction)
             else:
                 link.set_down()
         self.log.append((self.env.now, f"{fault.kind} down",
@@ -134,7 +225,34 @@ class FaultInjector:
         self.network.reallocate()
         yield self.env.timeout(fault.duration)
         for link in links:
-            link.restore()
+            if fault.kind == "degrade":
+                link.release_degrade(fault.fraction)
+            else:
+                link.restore()
         self.log.append((self.env.now, f"{fault.kind} restored",
                          fault.description or fault.target))
         self.network.reallocate()
+
+    def _run_server_fault(self, fault: Fault):
+        server = self.servers[fault.target]
+        if fault.start > 0:
+            yield self.env.timeout(fault.start)
+        server.crash()
+        self.log.append((self.env.now, "server down",
+                         fault.description or fault.target))
+        yield self.env.timeout(fault.duration)
+        server.restart()
+        self.log.append((self.env.now, "server restored",
+                         fault.description or fault.target))
+
+    def _run_hrm_fault(self, fault: Fault):
+        hrm = self.hrms[fault.target]
+        if fault.start > 0:
+            yield self.env.timeout(fault.start)
+        hrm.fail_staging()
+        self.log.append((self.env.now, "hrm down",
+                         fault.description or fault.target))
+        yield self.env.timeout(fault.duration)
+        hrm.restore()
+        self.log.append((self.env.now, "hrm restored",
+                         fault.description or fault.target))

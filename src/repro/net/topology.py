@@ -36,10 +36,18 @@ class Link:
     ``capacity`` may be changed at runtime (fault injection, bonding);
     users must call :meth:`FluidNetwork.reallocate` afterwards — the
     :class:`~repro.net.faults.FaultInjector` does this automatically.
+
+    Outage and degradation state is *reference-counted* so that
+    overlapping faults compose: each :meth:`set_down` stacks one outage
+    hold, each :meth:`degrade_hold` stacks one capacity fraction, and the
+    link only returns to nominal once every hold has been released. The
+    effective capacity is 0 while any outage holds, otherwise nominal ×
+    the most severe held fraction.
     """
 
     __slots__ = ("name", "src", "dst", "nominal_capacity", "capacity",
-                 "latency", "site", "_flows")
+                 "latency", "site", "_flows", "_down_holds",
+                 "_degrade_holds")
 
     def __init__(self, name: str, src: Node, dst: Node, capacity: float,
                  latency: float, site: str = ""):
@@ -55,19 +63,61 @@ class Link:
         self.latency = float(latency)
         self.site = site or src.site
         self._flows: set = set()
+        self._down_holds = 0
+        self._degrade_holds: list = []
 
     @property
     def is_up(self) -> bool:
         """True while the link has nonzero capacity."""
         return self.capacity > 0
 
+    @property
+    def faulted(self) -> bool:
+        """True while any outage or degradation hold is active."""
+        return self._down_holds > 0 or bool(self._degrade_holds)
+
+    def _recompute(self) -> None:
+        if self._down_holds > 0:
+            self.capacity = 0.0
+        elif self._degrade_holds:
+            self.capacity = self.nominal_capacity * min(self._degrade_holds)
+        else:
+            self.capacity = self.nominal_capacity
+
     def set_down(self) -> None:
-        """Fail the link (capacity → 0)."""
-        self.capacity = 0.0
+        """Fail the link (capacity → 0); stacks with concurrent faults."""
+        self._down_holds += 1
+        self._recompute()
+
+    def degrade_hold(self, fraction: float) -> None:
+        """Hold the link at ``fraction`` of nominal until released."""
+        if not (0.0 <= fraction < 1.0):
+            raise ValueError("degrade fraction must be in [0, 1)")
+        self._degrade_holds.append(float(fraction))
+        self._recompute()
+
+    def release_degrade(self, fraction: float) -> None:
+        """Release one :meth:`degrade_hold` of the given fraction."""
+        try:
+            self._degrade_holds.remove(float(fraction))
+        except ValueError:
+            pass
+        self._recompute()
 
     def restore(self, capacity: Optional[float] = None) -> None:
-        """Bring the link back, at ``capacity`` or its nominal value."""
-        self.capacity = self.nominal_capacity if capacity is None else float(capacity)
+        """Release one outage hold; back to nominal once all are gone.
+
+        With an explicit ``capacity``, all fault holds are discarded and
+        the link is forced to that capacity (the capacity-override form
+        used by bonding/upgrade scenarios).
+        """
+        if capacity is not None:
+            self._down_holds = 0
+            self._degrade_holds.clear()
+            self.capacity = float(capacity)
+            return
+        self._down_holds = max(0, self._down_holds - 1)
+        self._recompute()
 
     @property
     def utilization_flows(self) -> int:

@@ -19,18 +19,35 @@ the file being transferred at the local site every few seconds."
 - :class:`CorbaChannel` — the CORBA-ish RPC shim CDAT uses to call the
   RM ("The CDAT system calls the RM via a CORBA protocol that permits
   the specification of multiple logical files").
+- :mod:`repro.rm.resilience` — retry/backoff, circuit breakers,
+  deadlines, and the failure-classification taxonomy that harden the
+  pipeline against control-plane faults.
 """
 
 from repro.rm.rpc import CorbaChannel
 from repro.rm.request import FileRequest, FileState, RequestTicket
+from repro.rm.resilience import (
+    BreakerBoard,
+    BreakerState,
+    CircuitBreaker,
+    FailureClass,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 from repro.rm.manager import RequestManager
 from repro.rm.monitor import TransferMonitor
 
 __all__ = [
+    "BreakerBoard",
+    "BreakerState",
+    "CircuitBreaker",
     "CorbaChannel",
+    "FailureClass",
     "FileRequest",
     "FileState",
     "RequestManager",
     "RequestTicket",
+    "ResiliencePolicy",
+    "RetryPolicy",
     "TransferMonitor",
 ]

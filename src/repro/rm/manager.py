@@ -1,15 +1,33 @@
-"""The request manager: the per-file replica-selection + transfer pipeline."""
+"""The request manager: the per-file replica-selection + transfer pipeline.
+
+The hardened pipeline layers control-plane fault tolerance over the
+paper's four steps (lookup → forecast → rank → transfer):
+
+- whole-file retry rounds with capped exponential backoff
+  (:class:`~repro.rm.resilience.RetryPolicy`), jitter drawn from a named
+  sim RNG stream so chaos runs are reproducible per seed;
+- per-host circuit breakers shared across a ticket's file threads
+  (:class:`~repro.rm.resilience.BreakerBoard`) so one dead server is not
+  re-probed by every file;
+- per-file / per-ticket deadlines enforced by a watchdog process that
+  aborts in-flight transfers and finalizes the file as FAILED(deadline);
+- degraded-mode ranking: when the MDS/NWS directory is unreachable,
+  :meth:`RequestManager._rank` falls back to round-robin over cached
+  last-known forecasts instead of failing the file;
+- every failure carries a typed
+  :class:`~repro.rm.resilience.FailureClass`, recorded on the ticket and
+  emitted as a NetLogger ``rm.failure`` event.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.gridftp.client import GridFtpClient, TransferHandle
-from repro.gridftp.protocol import GridFtpConfig, GridFtpError
+from repro.gridftp.protocol import ACTION_NOT_TAKEN, GridFtpConfig, GridFtpError
 from repro.gridftp.restart import ReliabilityPolicy
 from repro.gridftp.server import GridFtpServer
 from repro.mds.service import MdsService
-from repro.net.units import mbps
 from repro.netlogger.log import NetLogger
 from repro.nws.service import NetworkWeatherService
 from repro.replica.catalog import LocationInfo, ReplicaCatalog
@@ -19,8 +37,11 @@ from repro.replica.selection import (
     SelectionPolicy,
 )
 from repro.rm.request import FileRequest, FileState, RequestTicket
+from repro.rm.resilience import FailureClass, ResiliencePolicy
 from repro.sim.core import Environment
 from repro.storage.filesystem import FileSystem
+
+_TERMINAL = (FileState.DONE, FileState.FAILED, FileState.CANCELLED)
 
 
 class RequestManager:
@@ -44,13 +65,17 @@ class RequestManager:
     policy:
         Replica selection policy (step 3); defaults to NWS-best.
     reliability:
-        Optional low-rate switch policy (§7's plug-in). A fresh copy is
-        used per file.
+        Optional low-rate switch policy (§7's plug-in). A fresh clone is
+        used per attempt.
     nws:
         Optional NWS service; completed transfers are fed back as
         measurements.
     logger:
         Optional NetLogger for ULM events.
+    resilience:
+        Optional :class:`~repro.rm.resilience.ResiliencePolicy` enabling
+        retry rounds, circuit breakers, and default deadlines. ``None``
+        preserves the original single-sweep behaviour exactly.
     """
 
     def __init__(self, env: Environment, catalog: ReplicaCatalog,
@@ -61,7 +86,8 @@ class RequestManager:
                  reliability: Optional[ReliabilityPolicy] = None,
                  nws: Optional[NetworkWeatherService] = None,
                  logger: Optional[NetLogger] = None,
-                 config: Optional[GridFtpConfig] = None):
+                 config: Optional[GridFtpConfig] = None,
+                 resilience: Optional[ResiliencePolicy] = None):
         self.env = env
         self.catalog = catalog
         self.mds = mds
@@ -74,23 +100,50 @@ class RequestManager:
         self.nws = nws
         self.logger = logger
         self.config = config or GridFtpConfig()
+        self.resilience = resilience
         self.tickets: List[RequestTicket] = []
         self.messages: List[tuple] = []  # (t, text) — Figure 4 bottom pane
+        # degraded-mode state: last known forecast per (src, dst) path,
+        # and a rotation counter for round-robin over stale candidates.
+        self._forecast_cache: Dict[Tuple[str, str], Tuple[float, float]] = {}
+        self._degraded_counter = 0
+        self._jitter_rng = (env.rng.stream("rm.retry.jitter")
+                            if resilience is not None else None)
 
     # -- public API -------------------------------------------------------
-    def submit(self, requests: List[tuple]) -> RequestTicket:
+    def submit(self, requests: List[tuple],
+               file_deadline: Optional[float] = None,
+               ticket_deadline: Optional[float] = None) -> RequestTicket:
         """Accept a multi-file request; returns a live ticket.
 
         ``requests`` is a list of (collection, logical_file). One
         simulated "thread" (process) runs per file, concurrently.
+        ``file_deadline``/``ticket_deadline`` are budgets in seconds from
+        now; unset, they default to the resilience policy's values.
         """
+        res = self.resilience
+        if file_deadline is None and res is not None:
+            file_deadline = res.file_deadline
+        if ticket_deadline is None and res is not None:
+            ticket_deadline = res.ticket_deadline
+        now = self.env.now
         files = [FileRequest(collection=c, logical_file=f)
                  for c, f in requests]
-        ticket = RequestTicket(self.env, files)
+        if file_deadline is not None:
+            for fr in files:
+                fr.deadline_at = now + file_deadline
+        ticket = RequestTicket(
+            self.env, files,
+            deadline_at=(now + ticket_deadline
+                         if ticket_deadline is not None else None))
+        if res is not None:
+            ticket.breakers = res.board()
         self.tickets.append(ticket)
         workers = [self.env.process(self._file_thread(ticket, fr))
                    for fr in files]
         self.env.process(self._completion_watcher(ticket, workers))
+        if file_deadline is not None or ticket_deadline is not None:
+            self.env.process(self._deadline_watchdog(ticket))
         return ticket
 
     def request(self, requests: List[tuple]):
@@ -107,8 +160,51 @@ class RequestManager:
     def _completion_watcher(self, ticket: RequestTicket, workers):
         yield self.env.all_of(workers)
         # "After all the files of a request transfer successfully, the RM
-        # notifies CDAT."
-        ticket.done.succeed(ticket)
+        # notifies CDAT." (The deadline watchdog may have beaten us to it.)
+        if not ticket.done.triggered:
+            ticket.done.succeed(ticket)
+
+    def _deadline_watchdog(self, ticket: RequestTicket):
+        """Enforce per-file and per-ticket deadlines.
+
+        At each due deadline, in-flight transfers of overdue files are
+        aborted and the files finalized as FAILED(deadline); the ticket
+        completes even if a file thread is still unwinding (e.g. stuck
+        in a hung directory lookup that ends with the outage window).
+        """
+        env = self.env
+        while True:
+            pending = [f for f in ticket.files if f.state not in _TERMINAL]
+            if not pending:
+                return
+            deadlines = [f.deadline_at for f in pending
+                         if f.deadline_at is not None]
+            if ticket.deadline_at is not None:
+                deadlines.append(ticket.deadline_at)
+            if not deadlines:
+                return
+            target = min(deadlines)
+            if target > env.now:
+                timer = env.timeout(target - env.now)
+                yield env.any_of([timer, ticket.done])
+                if ticket.done.triggered:
+                    return
+            for fr in ticket.files:
+                if fr.state in _TERMINAL:
+                    continue
+                limit = min(fr.deadline_at if fr.deadline_at is not None
+                            else float("inf"),
+                            ticket.deadline_at if ticket.deadline_at
+                            is not None else float("inf"))
+                if env.now >= limit:
+                    handle = ticket._handles.get(fr.logical_file)
+                    if handle is not None and not handle.done.triggered:
+                        handle.abort("deadline exceeded")
+                    self._fail(fr, "deadline exceeded",
+                               FailureClass.DEADLINE)
+            if ticket.complete and not ticket.done.triggered:
+                ticket.done.succeed(ticket)
+                return
 
     def _say(self, text: str) -> None:
         self.messages.append((self.env.now, text))
@@ -116,77 +212,159 @@ class RequestManager:
             self.logger.event("rm.message", prog="request-manager",
                               text=text)
 
+    def _should_stop(self, ticket: RequestTicket, fr: FileRequest) -> bool:
+        """Checkpoint between yields: True = stop, ``fr`` is finalized."""
+        if fr.state in _TERMINAL:
+            # The deadline watchdog (or a concurrent cancel) got here
+            # first; nothing left to do.
+            return True
+        if ticket.cancelled:
+            self._cancel(fr)
+            return True
+        if fr.deadline_at is not None and self.env.now >= fr.deadline_at:
+            self._fail(fr, "deadline exceeded", FailureClass.DEADLINE)
+            return True
+        if (ticket.deadline_at is not None
+                and self.env.now >= ticket.deadline_at):
+            self._fail(fr, "ticket deadline exceeded", FailureClass.DEADLINE)
+            return True
+        return False
+
+    def _backoff(self, ticket: RequestTicket, fr: FileRequest,
+                 attempt: int):
+        """Interruptible sleep before retry round ``attempt`` + 1."""
+        delay = self.resilience.retry.delay(attempt, rng=self._jitter_rng)
+        if self.logger is not None:
+            self.logger.event("rm.retry", prog="request-manager",
+                              file=fr.logical_file, round=str(attempt),
+                              backoff=f"{delay:.2f}")
+        self._say(f"{fr.logical_file}: retry round {attempt + 1} in "
+                  f"{delay:.1f}s")
+        timer = self.env.timeout(delay)
+        # A cancelled ticket must not sit out the full backoff.
+        yield self.env.any_of([timer, ticket.aborted])
+
     def _file_thread(self, ticket: RequestTicket, fr: FileRequest):
         env = self.env
         fr.started_at = env.now
-        if ticket.cancelled:
-            self._cancel(fr)
+        if self._should_stop(ticket, fr):
             return
-        fr.state = FileState.SELECTING
-        # (1) replica lookup.
-        try:
-            replicas = yield from self.catalog.find_replicas(
-                fr.collection, fr.logical_file)
-        except Exception as exc:
-            self._fail(fr, f"replica lookup failed: {exc}")
-            return
-        if not replicas:
-            self._fail(fr, "no replicas registered")
-            return
-        size = self.catalog.logical_file_size(fr.collection,
-                                              fr.logical_file)
-        if size is not None:
-            fr.size = size
-        # (2)+(3) forecast and rank; then try candidates best-first, with
-        # the reliability plug-in able to force a switch mid-transfer.
-        candidates = yield from self._rank(replicas, fr)
-        self._say(f"selecting replica for {fr.logical_file}: "
-                  + ", ".join(f"{c.location.hostname}"
-                              f"@{mbps_str(c.bandwidth)}"
-                              for c in candidates))
+        rounds = (self.resilience.retry.max_rounds
+                  if self.resilience is not None else 1)
         last_error = "no candidate attempted"
-        for candidate in candidates:
-            if ticket.cancelled:
-                self._cancel(fr)
-                return
-            loc = candidate.location
-            if loc.hostname not in self.registry:
-                last_error = f"no server for {loc.hostname}"
+        last_class: Optional[FailureClass] = None
+        for round_no in range(1, rounds + 1):
+            if round_no > 1:
+                yield from self._backoff(ticket, fr, round_no - 1)
+                if self._should_stop(ticket, fr):
+                    return
+            fr.state = FileState.SELECTING
+            # (1) replica lookup.
+            try:
+                replicas = yield from self.catalog.find_replicas(
+                    fr.collection, fr.logical_file)
+            except Exception as exc:
+                if self._should_stop(ticket, fr):
+                    return
+                last_error = f"replica lookup failed: {exc}"
+                last_class = FailureClass.LOOKUP
                 continue
-            fr.chosen_location = loc.name
-            fr.tried_locations.append(loc.name)
-            self._say(f"transfer of {fr.logical_file} from "
-                      f"{loc.hostname} initiated")
-            ok, err = yield from self._attempt(fr, loc, ticket)
-            if ticket.cancelled and not ok:
-                self._cancel(fr)
+            if self._should_stop(ticket, fr):
                 return
-            if ok:
-                fr.state = FileState.DONE
-                fr.finished_at = env.now
-                self._say(f"{fr.logical_file}: complete from "
-                          f"{loc.hostname}")
+            if not replicas:
+                # Permanent: no amount of retrying invents a replica.
+                self._fail(fr, "no replicas registered",
+                           FailureClass.LOOKUP)
                 return
-            last_error = err
-            fr.replica_switches += 1
-            self._say(f"{fr.logical_file}: switching replica after "
-                      f"{err}")
-        self._fail(fr, last_error)
+            size = self.catalog.logical_file_size(fr.collection,
+                                                  fr.logical_file)
+            if size is not None:
+                fr.size = size
+            # (2)+(3) forecast and rank; then try candidates best-first,
+            # with the reliability plug-in able to force a switch
+            # mid-transfer.
+            candidates = yield from self._rank(replicas, fr)
+            if self._should_stop(ticket, fr):
+                return
+            self._say(f"selecting replica for {fr.logical_file}: "
+                      + ", ".join(f"{c.location.hostname}"
+                                  f"@{mbps_str(c.bandwidth)}"
+                                  for c in candidates))
+            board = ticket.breakers
+            for candidate in candidates:
+                if self._should_stop(ticket, fr):
+                    return
+                loc = candidate.location
+                if loc.hostname not in self.registry:
+                    last_error = f"no server for {loc.hostname}"
+                    last_class = FailureClass.CONNECT
+                    continue
+                breaker = (board.for_host(loc.hostname)
+                           if board is not None else None)
+                if breaker is not None and not breaker.allow(env.now):
+                    fr.breaker_skips += 1
+                    last_error = (f"{loc.hostname}: circuit open, "
+                                  "skipped")
+                    last_class = FailureClass.CONNECT
+                    continue
+                fr.chosen_location = loc.name
+                fr.tried_locations.append(loc.name)
+                self._say(f"transfer of {fr.logical_file} from "
+                          f"{loc.hostname} initiated")
+                ok, err, fclass = yield from self._attempt(fr, loc, ticket)
+                if ok:
+                    if breaker is not None:
+                        breaker.record_success()
+                    fr.state = FileState.DONE
+                    fr.finished_at = env.now
+                    self._say(f"{fr.logical_file}: complete from "
+                              f"{loc.hostname}")
+                    return
+                if breaker is not None:
+                    breaker.record_failure(env.now)
+                if self._should_stop(ticket, fr):
+                    return
+                last_error, last_class = err, fclass
+                fr.replica_switches += 1
+                self._say(f"{fr.logical_file}: switching replica after "
+                          f"{err}")
+        self._fail(fr, last_error, last_class)
 
     def _rank(self, replicas: List[LocationInfo], fr: FileRequest):
+        """Forecast-and-rank; degrades gracefully when MDS is down.
+
+        Healthy path: live NWS forecasts via MDS, ranked by the
+        selection policy (and every forecast refreshes the cache). If
+        any lookup raises (directory outage), the ranking is rebuilt
+        from cached last-known forecasts — or the config's fallback
+        constants where no history exists — and rotated round-robin so
+        blind retries spread across replicas instead of hammering one.
+        """
         candidates = []
+        degraded = False
         for loc in replicas:
             server = self.registry.get(loc.hostname)
             forecast = None
+            path_key = None
+            live = False
             if server is not None:
-                forecast = yield from self.mds.nws_forecast(
-                    server.host.node, self.dest_host.node)
+                path_key = (server.host.node, self.dest_host.node)
+                try:
+                    forecast = yield from self.mds.nws_forecast(
+                        server.host.node, self.dest_host.node)
+                    live = forecast is not None
+                except Exception:
+                    degraded = True
+                    forecast = self._forecast_cache.get(path_key)
             if forecast is not None:
                 bandwidth, latency = forecast
+                if live:
+                    self._forecast_cache[path_key] = (bandwidth, latency)
             else:
                 # Unmeasured path: fall back to a conservative constant
                 # so measured paths are preferred.
-                bandwidth, latency = mbps(1), 0.1
+                bandwidth = self.config.fallback_bandwidth
+                latency = self.config.fallback_latency
             stage_wait = 0.0
             if server is not None and server.hrm is not None \
                     and not server.hrm.is_staged(fr.logical_file):
@@ -194,22 +372,40 @@ class RequestManager:
             candidates.append(ReplicaCandidate(
                 loc, bandwidth=bandwidth, latency=latency,
                 stage_wait=stage_wait))
+        if degraded:
+            fr.degraded_rankings += 1
+            if self.logger is not None:
+                self.logger.event("rm.rank.degraded",
+                                  prog="request-manager",
+                                  file=fr.logical_file,
+                                  candidates=str(len(candidates)))
+            self._say(f"{fr.logical_file}: MDS unreachable, ranking from "
+                      "cached forecasts (round-robin)")
+            ordered = sorted(candidates, key=lambda c: c.location.name)
+            k = self._degraded_counter % len(ordered) if ordered else 0
+            self._degraded_counter += 1
+            return ordered[k:] + ordered[:k]
         return self.policy.rank(candidates, fr.size)
+
+    def _classify(self, exc: GridFtpError) -> FailureClass:
+        """Map a transfer-layer error onto the failure taxonomy."""
+        text = str(exc.reply).lower()
+        if "deadline" in text:
+            return FailureClass.DEADLINE
+        if exc.reply.code == ACTION_NOT_TAKEN or "staging" in text:
+            return FailureClass.STAGING
+        return FailureClass.TRANSFER
 
     def _attempt(self, fr: FileRequest, loc: LocationInfo,
                  ticket: Optional[RequestTicket] = None):
-        """One replica attempt; returns (ok, error_text)."""
+        """One replica attempt; returns (ok, error_text, failure_class)."""
         env = self.env
         server = self.registry[loc.hostname]
         handle = TransferHandle(env, fr.logical_file, fr.size)
         if ticket is not None:
             ticket._handles[fr.logical_file] = handle
-        policy = None
-        if self.reliability is not None:
-            policy = ReliabilityPolicy(
-                min_rate=self.reliability.min_rate,
-                grace_period=self.reliability.grace_period,
-                consecutive_samples=self.reliability.consecutive_samples)
+        policy = (self.reliability.clone()
+                  if self.reliability is not None else None)
         if server.hrm is not None and not server.hrm.is_staged(
                 fr.logical_file) and server.hrm.mss.has(fr.logical_file):
             fr.state = FileState.STAGING
@@ -220,7 +416,8 @@ class RequestManager:
             session = yield from self.client.connect(
                 self.dest_host, loc.hostname, self.config)
         except GridFtpError as exc:
-            return False, f"connect failed ({exc.reply.code})"
+            return (False, f"connect failed ({exc.reply.code})",
+                    FailureClass.CONNECT)
         transfer = env.process(session.get(
             fr.logical_file, self.dest_fs, self.dest_host,
             handle=handle, config=self.config, record=True))
@@ -250,7 +447,7 @@ class RequestManager:
         except GridFtpError as exc:
             fr.bytes_done = handle.bytes_done()
             session.close()
-            return False, str(exc.reply)
+            return False, str(exc.reply), self._classify(exc)
         fr.bytes_done = stats.transferred_bytes
         fr.size = stats.transferred_bytes
         fr.restarts += stats.restarts
@@ -267,18 +464,29 @@ class RequestManager:
                               bytes=f"{stats.transferred_bytes:.0f}",
                               seconds=f"{elapsed:.3f}")
         session.close()
-        return True, ""
+        return True, "", None
 
     def _cancel(self, fr: FileRequest) -> None:
+        if fr.state in _TERMINAL:
+            return
         fr.state = FileState.CANCELLED
         fr.finished_at = self.env.now
         self._say(f"{fr.logical_file}: cancelled")
 
-    def _fail(self, fr: FileRequest, reason: str) -> None:
+    def _fail(self, fr: FileRequest, reason: str,
+              failure_class: Optional[FailureClass] = None) -> None:
+        if fr.state in _TERMINAL:
+            return
         fr.state = FileState.FAILED
         fr.error = reason
+        fr.failure_class = failure_class
         fr.finished_at = self.env.now
-        self._say(f"{fr.logical_file}: FAILED ({reason})")
+        label = failure_class.value if failure_class is not None else "?"
+        self._say(f"{fr.logical_file}: FAILED [{label}] ({reason})")
+        if self.logger is not None:
+            self.logger.event("rm.failure", prog="request-manager",
+                              file=fr.logical_file, cls=label,
+                              reason=reason)
 
 
 def mbps_str(bandwidth: float) -> str:

@@ -39,6 +39,11 @@ class FileRequest:
     error: Optional[str] = None
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    # resilience bookkeeping (see repro.rm.resilience)
+    deadline_at: Optional[float] = None       # absolute sim time, or None
+    failure_class: Optional[object] = None    # FailureClass on FAILED
+    breaker_skips: int = 0                    # candidates shed by breakers
+    degraded_rankings: int = 0                # ranks done without live NWS
 
     @property
     def fraction(self) -> float:
@@ -58,13 +63,20 @@ class RequestTicket:
 
     _ids = itertools.count(1)
 
-    def __init__(self, env: Environment, files: List[FileRequest]):
+    def __init__(self, env: Environment, files: List[FileRequest],
+                 deadline_at: Optional[float] = None):
         self.id = next(RequestTicket._ids)
         self.env = env
         self.files = files
         self.done: Event = Event(env)
         self.submitted_at = env.now
         self.cancelled = False
+        # absolute sim time by which the whole request must terminate
+        self.deadline_at = deadline_at
+        # fires on cancel() so backoff sleeps can exit promptly
+        self.aborted: Event = Event(env)
+        # per-ticket circuit-breaker board, attached by the RM at submit
+        self.breakers = None
         # transient per-file transfer handles, maintained by the RM
         self._handles: dict = {}
 
@@ -72,6 +84,8 @@ class RequestTicket:
         """Stop the request: in-flight transfers abort, pending files
         are skipped ("initiate, *control* and monitor", §4)."""
         self.cancelled = True
+        if not self.aborted.triggered:
+            self.aborted.succeed(reason)
         for handle in list(self._handles.values()):
             if not handle.done.triggered:
                 handle.abort(reason)

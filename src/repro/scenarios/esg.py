@@ -41,6 +41,7 @@ from repro.nws.service import NetworkWeatherService
 from repro.replica.catalog import ReplicaCatalog
 from repro.replica.manager import ReplicaManager
 from repro.rm.manager import RequestManager
+from repro.rm.resilience import ResiliencePolicy
 from repro.sim.core import Environment
 from repro.storage.filesystem import FileSystem
 from repro.storage.hpss import MassStorageSystem
@@ -112,7 +113,8 @@ class EsgTestbed:
                  replicated_catalog: bool = False,
                  file_size_override: Optional[float] = None,
                  reliability: Optional[ReliabilityPolicy] = None,
-                 config: Optional[GridFtpConfig] = None):
+                 config: Optional[GridFtpConfig] = None,
+                 resilience: Optional["ResiliencePolicy"] = None):
         self.env = Environment(seed=seed)
         env = self.env
         self.grid = grid or GridSpec(nlat=32, nlon=64, months=12)
@@ -204,7 +206,8 @@ class EsgTestbed:
             env, self.replica_catalog, self.mds, self.gridftp,
             self.registry, self.client_host, self.client_fs,
             reliability=reliability, nws=self.nws, logger=self.logger,
-            config=config or GridFtpConfig(parallelism=4))
+            config=config or GridFtpConfig(parallelism=4),
+            resilience=resilience)
 
         # -- the user's analysis tool
         from repro.cdat.client import CdatClient
@@ -347,6 +350,25 @@ class EsgTestbed:
                                            hostname)
         client = DodsClient(self.env, self.transport, servers)
         return servers, client
+
+    # -- fault injection ---------------------------------------------------------
+    def fault_injector(self):
+        """A :class:`~repro.net.faults.FaultInjector` wired to everything.
+
+        Knows the testbed's links, DNS, GridFTP servers (by hostname),
+        the "catalog" and "mds" directories, and every HRM (by name) —
+        so any fault kind a :class:`~repro.net.faults.FaultSchedule` can
+        express is injectable against this testbed.
+        """
+        from repro.net.faults import FaultInjector
+        directories = {"mds": self.mds.directory,
+                       "catalog": (self.catalog_directory
+                                   or self.replica_catalog.directory)}
+        hrms = {site.hrm.name: site.hrm
+                for site in self.sites.values() if site.hrm is not None}
+        return FaultInjector(self.env, self.network, self.dns,
+                             servers=dict(self.registry),
+                             directories=directories, hrms=hrms)
 
     # -- conveniences -----------------------------------------------------------
     def warm_nws(self, until: float = 120.0) -> None:

@@ -26,6 +26,10 @@ from repro.storage.filesystem import FileSystem
 from repro.storage.hpss import MassStorageSystem
 
 
+class StagingError(Exception):
+    """A stage request failed (tape drive / HRM outage)."""
+
+
 @dataclass
 class StageRequest:
     """One logical staging request (possibly shared by several callers)."""
@@ -56,6 +60,25 @@ class HierarchicalResourceManager:
         self.name = name
         self._inflight: Dict[str, StageRequest] = {}
         self.completed: list = []  # history of StageRequest
+        self.down = False
+        self.stage_failures = 0
+
+    # -- fault injection -----------------------------------------------------
+    def fail_staging(self) -> None:
+        """Tape/HRM failure: abort in-flight stages, refuse new ones."""
+        if self.down:
+            return
+        self.down = True
+        for req in list(self._inflight.values()):
+            self._inflight.pop(req.name, None)
+            self.stage_failures += 1
+            if not req.ready.triggered:
+                req.ready.fail(StagingError(
+                    f"{self.name}: staging failed for {req.name!r}"))
+
+    def restore(self) -> None:
+        """The HRM is healthy again; new stage requests are accepted."""
+        self.down = False
 
     # -- staging -------------------------------------------------------------
     def request_stage(self, name: str) -> StageRequest:
@@ -69,6 +92,11 @@ class HierarchicalResourceManager:
             existing.waiters += 1
             return existing
         req = StageRequest(name, Event(self.env), self.env.now)
+        if self.down:
+            self.stage_failures += 1
+            req.ready.fail(StagingError(
+                f"{self.name}: HRM is down, cannot stage {name!r}"))
+            return req
         if self.serve_fs.exists(name) and self.mss.is_staged(name):
             # Already disk-resident: complete immediately.
             req.completed_at = self.env.now
@@ -84,14 +112,18 @@ class HierarchicalResourceManager:
         try:
             file = yield from self.mss.retrieve(req.name)
         except Exception as exc:
-            del self._inflight[req.name]
-            req.ready.fail(exc)
+            self._inflight.pop(req.name, None)
+            if not req.ready.triggered:
+                req.ready.fail(exc)
+            return
+        if req.ready.triggered:
+            # fail_staging() already failed this request mid-retrieve.
             return
         self.mss.cache.pin(req.name)
         if not self.serve_fs.exists(req.name):
             self.serve_fs.store(file)
         req.completed_at = self.env.now
-        del self._inflight[req.name]
+        self._inflight.pop(req.name, None)
         self.completed.append(req)
         req.ready.succeed(file)
 
@@ -107,6 +139,8 @@ class HierarchicalResourceManager:
 
     def estimate_wait(self, name: str) -> float:
         """Rough time until ``name`` could be disk-resident."""
+        if self.down:
+            return float("inf")
         if self.is_staged(name):
             return 0.0
         queued = self.mss.tape.queue_length

@@ -242,6 +242,6 @@ def test_dns_fault_requires_name_service():
 def test_unknown_fault_target_raises():
     env, topo, net, ns, tr = fixture()
     inj = FaultInjector(env, net, ns)
-    inj.install(FaultSchedule().link_outage("nope", 1.0, 1.0))
+    # Targets are validated eagerly at install time.
     with pytest.raises(KeyError):
-        env.run()
+        inj.install(FaultSchedule().link_outage("nope", 1.0, 1.0))
