@@ -7,6 +7,8 @@ Installed as the ``repro`` console script::
     repro figure8 [--hours N]  # the commodity-internet reliability run
     repro browse               # list the synthetic archive
     repro portal VAR           # an ESG-II server-side subset request
+    repro trace                # per-file NetLogger lifelines of a demo run
+    repro metrics [--json]     # the same run's metrics registry
 """
 
 from __future__ import annotations
@@ -99,6 +101,71 @@ def _cmd_portal(args) -> int:
     return 0
 
 
+def _demo_fetch(seed: int):
+    """Run the demo fetch once; returns the instrumented testbed."""
+    from repro.esg import EarthSystemGrid
+    esg = EarthSystemGrid.demo_testbed(seed=seed)
+    esg.fetch_and_analyze("pcmdi.ncar_csm.run1", "tas", months=(6, 8))
+    return esg.testbed
+
+
+def _cmd_trace(args) -> int:
+    from repro.netlogger import (failure_breakdown, reconstruct_lifelines,
+                                 stage_breakdown, ttfb_values)
+    tb = _demo_fetch(args.seed)
+    lifelines = reconstruct_lifelines(tb.logger.records)
+    lives = sorted(lifelines.values(),
+                   key=lambda life: (life.requested_at or 0.0, life.file))
+    print(f"=== lifelines ({len(lives)} files, seed {args.seed}) ===")
+    for life in lives:
+        dur = (f"{life.duration:7.2f}s" if life.duration is not None
+               else "      ?")
+        ttfb = (f"{life.ttfb:6.3f}s" if life.ttfb is not None
+                else "     ?")
+        stages = " ".join(f"{name}={secs:.2f}" for name, secs
+                          in life.stage_totals().items())
+        mark = "" if life.complete else "  [INCOMPLETE]"
+        print(f"{life.file:<44} {life.outcome or '?':<9} dur={dur} "
+              f"ttfb={ttfb}  {stages}{mark}")
+    print("\n=== per-stage latency ===")
+    for stats in stage_breakdown(lives).values():
+        print(f"{stats.name:<12} n={stats.count:<4} "
+              f"mean={stats.mean:8.3f}s  max={stats.max:8.3f}s  "
+              f"total={stats.total:8.3f}s")
+    ttfbs = ttfb_values(lives)
+    if ttfbs:
+        print(f"\nTTFB: n={len(ttfbs)} "
+              f"mean={sum(ttfbs) / len(ttfbs):.3f}s "
+              f"max={max(ttfbs):.3f}s")
+    failures = failure_breakdown(lives)
+    if failures:
+        print("failures: " + ", ".join(f"{cls}={n}" for cls, n
+                                       in failures.items()))
+    faults = sorted({(w.kind, w.target, w.start, w.end)
+                     for life in lives for w in life.faults})
+    if faults:
+        print("\n=== fault windows touching lifelines ===")
+        for kind, target, start, end in faults:
+            print(f"{kind:<10} {target:<24} "
+                  f"[{start:.1f}s .. {end:.1f}s]")
+    if args.spans:
+        print("\n=== spans ===")
+        for trace_id in tb.obs.tracer.traces():
+            print(tb.obs.tracer.render_tree(trace_id))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json
+    tb = _demo_fetch(args.seed)
+    if args.json:
+        print(json.dumps(tb.obs.metrics.to_json(), indent=2,
+                         sort_keys=True))
+    else:
+        print(tb.obs.metrics.render_prometheus(), end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument grammar (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -115,6 +182,14 @@ def build_parser() -> argparse.ArgumentParser:
     f8.add_argument("--hours", type=float, default=2.0)
     pt = sub.add_parser("portal", help="ESG-II server-side request")
     pt.add_argument("variable", choices=["tas", "pr", "clt"])
+    tr = sub.add_parser("trace",
+                        help="per-file lifelines of a demo fetch")
+    tr.add_argument("--spans", action="store_true",
+                    help="also print the causal span trees")
+    mt = sub.add_parser("metrics",
+                        help="metrics registry of a demo fetch")
+    mt.add_argument("--json", action="store_true",
+                    help="JSON export instead of Prometheus text")
     return parser
 
 
@@ -124,6 +199,8 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "figure8": _cmd_figure8,
     "portal": _cmd_portal,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
 }
 
 

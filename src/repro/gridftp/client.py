@@ -48,6 +48,8 @@ class TransferHandle:
         self._active_flows: List = []
         self.aborted = False
         self.abort_reason = ""
+        # sim time the first data flow started moving bytes (TTFB anchor)
+        self.first_byte_at: Optional[float] = None
 
     def bytes_done(self) -> float:
         """Bytes delivered so far (live flows included)."""
@@ -149,7 +151,23 @@ class ClientSession:
         stats.finished_at = env.now
         handle._completed = nbytes
         handle.done.succeed(stats)
+        self._record_transfer("get", stats, handle)
         return stats
+
+    def _record_transfer(self, op: str, stats: TransferStats,
+                         handle: TransferHandle) -> None:
+        """Per-transfer metrics (no-op when the client is uninstrumented)."""
+        obs = self.client.obs
+        if obs is None:
+            return
+        host = self.server.hostname
+        obs.count("gridftp.transfers_total", op=op, host=host)
+        obs.count("gridftp.bytes_total", stats.transferred_bytes, op=op)
+        obs.observe("gridftp.transfer_seconds",
+                    stats.finished_at - stats.started_at, op=op)
+        if handle.first_byte_at is not None:
+            obs.observe("gridftp.ttfb_seconds",
+                        handle.first_byte_at - stats.started_at, op=op)
 
     def _channel_worker(self, conn: Connection, queue: List[float],
                         failed: List[float],
@@ -167,6 +185,12 @@ class ClientSession:
                     cap=conn.stream.window_cap,
                     name=f"gridftp:{path}", recorder=rec)
                 handle._active_flows.append(flow)
+                if handle.first_byte_at is None:
+                    handle.first_byte_at = self.env.now
+                    obs = self.client.obs
+                    if obs is not None:
+                        obs.event("gridftp.first_byte", prog="gridftp",
+                                  host=self.server.hostname, file=path)
                 self.env.process(conn.stream.drive(flow))
                 yield from self._watch(conn, flow)
                 moved += block
@@ -239,6 +263,7 @@ class ClientSession:
         stats.finished_at = self.env.now
         handle._completed = file.size
         handle.done.succeed(stats)
+        self._record_transfer("put", stats, handle)
         return stats
 
     def _pump_blocks(self, path: str, src: str, dst: str, nbytes: float,
@@ -272,6 +297,9 @@ class ClientSession:
             if not channels:
                 attempts += 1
                 stats.restarts += 1
+                if self.client.obs is not None:
+                    self.client.obs.count("gridftp.restarts_total",
+                                          reason="no_channels")
                 stats.faults.append((env.now, "no data channels"))
                 if attempts > cfg.retry_limit:
                     raise GridFtpError(FtpReply(
@@ -301,6 +329,9 @@ class ClientSession:
             if blocks:
                 attempts += 1
                 stats.restarts += 1
+                if self.client.obs is not None:
+                    self.client.obs.count("gridftp.restarts_total",
+                                          reason="blocks_lost")
                 stats.faults.append((env.now, f"{len(blocks)} blocks lost"))
                 if handle.aborted:
                     raise GridFtpError(FtpReply(TRANSFER_ABORTED,
@@ -333,15 +364,21 @@ class GridFtpClient:
                  registry: Dict[str, GridFtpServer],
                  credential_chain: tuple = (),
                  config: Optional[GridFtpConfig] = None,
-                 client_name: str = "client"):
+                 client_name: str = "client", obs=None):
         self.env = env
         self.transport = transport
         self.registry = registry
         self.credential_chain = credential_chain
         self.config = config or GridFtpConfig()
         self.client_name = client_name
+        self.obs = obs          # optional repro.obs.Observability bundle
         self.channel_cache = DataChannelCache(env)
         self._stream_serial = 0
+
+    def _count_connect(self, hostname: str, outcome: str) -> None:
+        if self.obs is not None:
+            self.obs.count("gridftp.connects_total", host=hostname,
+                           outcome=outcome)
 
     # -- session management ---------------------------------------------------
     def connect(self, client_host, hostname: str,
@@ -349,9 +386,11 @@ class GridFtpClient:
         """Simulation process: open an authenticated control session."""
         server = self.registry.get(hostname)
         if server is None:
+            self._count_connect(hostname, "unknown")
             raise GridFtpError(FtpReply(CANT_OPEN_DATA,
                                         f"unknown server {hostname!r}"))
         if not server.up:
+            self._count_connect(hostname, "down")
             raise GridFtpError(FtpReply(
                 CANT_OPEN_DATA, f"server {hostname} refused connection "
                 "(down)"))
@@ -361,6 +400,7 @@ class GridFtpClient:
                 client_host.node, hostname,
                 TcpParams(stall_timeout=cfg.stall_timeout))
         except ConnectionRefused as exc:
+            self._count_connect(hostname, "refused")
             raise GridFtpError(FtpReply(CANT_OPEN_DATA, str(exc))) from exc
         rtt = self.transport.network.topology.rtt(
             client_host.node, server.control_node)
@@ -369,7 +409,9 @@ class GridFtpClient:
                 self.credential_chain, rtt)
         except AuthenticationError as exc:
             control.close()
+            self._count_connect(hostname, "auth")
             raise GridFtpError(FtpReply(530, str(exc))) from exc
+        self._count_connect(hostname, "ok")
         return ClientSession(self, server, control, subjects)
 
     # -- data channel pool --------------------------------------------------------

@@ -52,13 +52,14 @@ class GridFtpServer:
                  gsi: Optional[GsiContext] = None,
                  credential_chain: tuple = (),
                  hrm: Optional[HierarchicalResourceManager] = None,
-                 hostname: Optional[str] = None):
+                 hostname: Optional[str] = None, obs=None):
         self.env = env
         self.host = host
         self.fs = filesystem
         self.gsi = gsi
         self.credential_chain = credential_chain
         self.hrm = hrm
+        self.obs = obs          # optional repro.obs.Observability bundle
         self.hostname = hostname or host.node
         self._plugins: Dict[str, EretPlugin] = {}
         self.bytes_served = 0.0
@@ -83,12 +84,21 @@ class GridFtpServer:
             return
         self.up = False
         self.crashes += 1
+        aborted = len(self._active_handles)
         for handle in list(self._active_handles):
             handle.abort(f"server {self.hostname} crashed")
         self._active_handles.clear()
+        if self.obs is not None:
+            self.obs.event("gridftp.server.crash", prog="gridftp",
+                           host=self.hostname, aborted=aborted)
+            self.obs.count("gridftp.server_crashes_total",
+                           host=self.hostname)
 
     def restart(self) -> None:
         """Come back up; clients must reconnect."""
+        if not self.up and self.obs is not None:
+            self.obs.event("gridftp.server.restart", prog="gridftp",
+                           host=self.hostname)
         self.up = True
 
     # -- endpoints ---------------------------------------------------------
@@ -181,6 +191,10 @@ class GridFtpServer:
         """Account a completed (possibly partial) send."""
         self.bytes_served += nbytes
         self.transfers_served += 1
+        if self.obs is not None:
+            self.obs.count("gridftp.served_total", host=self.hostname)
+            self.obs.count("gridftp.served_bytes_total", nbytes,
+                           host=self.hostname)
         if self.hrm is not None and not self.fs.exists(path):
             return
         if self.hrm is not None:

@@ -152,14 +152,47 @@ class FaultInjector:
                  name_service: Optional[NameService] = None,
                  servers: Optional[Dict[str, object]] = None,
                  directories: Optional[Dict[str, object]] = None,
-                 hrms: Optional[Dict[str, object]] = None):
+                 hrms: Optional[Dict[str, object]] = None,
+                 obs=None):
         self.env = env
         self.network = network
         self.name_service = name_service
         self.servers = servers or {}
         self.directories = directories or {}
         self.hrms = hrms or {}
+        self.obs = obs          # optional repro.obs.Observability bundle
         self.log: List[tuple] = []  # (time, action, description)
+
+    # -- observability -----------------------------------------------------
+    def _fault_begin(self, fault: Fault):
+        """``fault.begin`` event + an open span on the "faults" trace."""
+        if self.obs is None:
+            return None
+        self.obs.event("fault.begin", prog="fault-injector",
+                       kind=fault.kind, target=fault.target,
+                       description=fault.description)
+        self.obs.count("faults.injected_total", kind=fault.kind)
+        return self.obs.span(f"fault.{fault.kind}", trace="faults",
+                             target=fault.target,
+                             description=fault.description)
+
+    def _fault_end(self, fault: Fault, span) -> None:
+        if self.obs is None:
+            return
+        self.obs.event("fault.end", prog="fault-injector",
+                       kind=fault.kind, target=fault.target,
+                       description=fault.description)
+        if span is not None:
+            span.finish()
+
+    def _observe_window(self, fault: Fault):
+        """Span + begin/end events for windows executed elsewhere
+        (NameService / directory outages install their own timers)."""
+        if fault.start > 0:
+            yield self.env.timeout(fault.start)
+        span = self._fault_begin(fault)
+        yield self.env.timeout(fault.duration)
+        self._fault_end(fault, span)
 
     def install(self, schedule: FaultSchedule) -> None:
         """Arm every fault in ``schedule`` as a simulation process."""
@@ -171,6 +204,8 @@ class FaultInjector:
                 # to install time.
                 self.name_service.add_outage(self.env.now + fault.start,
                                              fault.duration)
+                if self.obs is not None:
+                    self.env.process(self._observe_window(fault))
                 continue
             if fault.kind == "directory":
                 directory = self.directories.get(fault.target)
@@ -181,6 +216,8 @@ class FaultInjector:
                                      fault.duration, mode=fault.mode)
                 self.log.append((self.env.now, "directory scheduled",
                                  fault.description or fault.target))
+                if self.obs is not None:
+                    self.env.process(self._observe_window(fault))
                 continue
             if fault.kind == "server":
                 if fault.target not in self.servers:
@@ -222,6 +259,7 @@ class FaultInjector:
                 link.set_down()
         self.log.append((self.env.now, f"{fault.kind} down",
                          fault.description or fault.target))
+        span = self._fault_begin(fault)
         self.network.reallocate()
         yield self.env.timeout(fault.duration)
         for link in links:
@@ -231,12 +269,14 @@ class FaultInjector:
                 link.restore()
         self.log.append((self.env.now, f"{fault.kind} restored",
                          fault.description or fault.target))
+        self._fault_end(fault, span)
         self.network.reallocate()
 
     def _run_server_fault(self, fault: Fault):
         server = self.servers[fault.target]
         if fault.start > 0:
             yield self.env.timeout(fault.start)
+        span = self._fault_begin(fault)
         server.crash()
         self.log.append((self.env.now, "server down",
                          fault.description or fault.target))
@@ -244,11 +284,13 @@ class FaultInjector:
         server.restart()
         self.log.append((self.env.now, "server restored",
                          fault.description or fault.target))
+        self._fault_end(fault, span)
 
     def _run_hrm_fault(self, fault: Fault):
         hrm = self.hrms[fault.target]
         if fault.start > 0:
             yield self.env.timeout(fault.start)
+        span = self._fault_begin(fault)
         hrm.fail_staging()
         self.log.append((self.env.now, "hrm down",
                          fault.description or fault.target))
@@ -256,3 +298,4 @@ class FaultInjector:
         hrm.restore()
         self.log.append((self.env.now, "hrm restored",
                          fault.description or fault.target))
+        self._fault_end(fault, span)

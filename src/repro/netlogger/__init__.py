@@ -17,16 +17,34 @@ from repro.netlogger.log import (LogRecord, NetLogger, parse_ulm,
                                  parse_ulm_log)
 from repro.netlogger.analysis import (
     BandwidthSummary,
+    FaultWindow,
+    Lifeline,
+    LifeStage,
+    StageStats,
     bandwidth_timeline,
+    extract_fault_windows,
+    failure_breakdown,
+    reconstruct_lifelines,
+    stage_breakdown,
     summarize,
+    ttfb_values,
 )
 
 __all__ = [
     "BandwidthSummary",
+    "FaultWindow",
+    "LifeStage",
+    "Lifeline",
     "LogRecord",
     "NetLogger",
+    "StageStats",
+    "bandwidth_timeline",
+    "extract_fault_windows",
+    "failure_breakdown",
     "parse_ulm",
     "parse_ulm_log",
-    "bandwidth_timeline",
+    "reconstruct_lifelines",
+    "stage_breakdown",
     "summarize",
+    "ttfb_values",
 ]

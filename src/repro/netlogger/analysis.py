@@ -1,14 +1,29 @@
-"""Turning raw rate series into the paper's reported numbers."""
+"""Turning raw rate series and event logs into the paper's numbers.
+
+Two halves:
+
+- the **bandwidth half** (:func:`summarize`, :func:`bandwidth_timeline`)
+  turns per-flow rate series into the Table 1 block and the Figure 8
+  timeline;
+- the **lifeline half** (:func:`reconstruct_lifelines`,
+  :func:`stage_breakdown`, :func:`ttfb_values`,
+  :func:`failure_breakdown`) replays a ULM event log into per-file
+  *lifelines* — the NetLogger methodology: every file's path through
+  request → select → connect → first byte → done/failed, with per-stage
+  latency, time-to-first-byte, failure-class attribution, and the fault
+  windows that overlapped it.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.net.recorder import RateSeries, aggregate_series
 from repro.net.units import to_gbps, to_mbps
+from repro.netlogger.log import LogRecord
 
 
 @dataclass(frozen=True)
@@ -98,3 +113,262 @@ def summarize(series: Iterable[RateSeries],
         sustained_window=window,
         total_bytes=agg.bytes_between(lo, hi),
         duration=span)
+
+
+# ---------------------------------------------------------------------------
+# Lifelines: per-file event timelines reconstructed from the ULM log.
+# ---------------------------------------------------------------------------
+
+#: Milestone event → name of the pipeline stage that *begins* at it.
+#: Stages run until the next milestone (or the terminal event), so the
+#: per-stage durations of a lifeline telescope to exactly
+#: ``finished_at - requested_at``.
+MILESTONE_STAGES: Dict[str, str] = {
+    "rm.request": "select",          # catalog lookup + forecast + rank
+    "rm.select": "connect",          # control connection + auth
+    "gridftp.connect": "first_byte", # command setup, staging, data start
+    "hrm.stage.request": "stage",    # tape → disk staging in progress
+    "hrm.stage.done": "first_byte",  # staging over; waiting on data again
+    "gridftp.first_byte": "stream",  # bytes flowing
+    "rm.retry": "backoff",           # waiting out a retry round
+}
+
+#: Terminal event → lifeline outcome.
+TERMINAL_EVENTS: Dict[str, str] = {
+    "rm.transfer.done": "done",
+    "rm.failure": "failed",
+    "rm.cancelled": "cancelled",
+}
+
+#: The milestones a successful lifeline must have visited, in order.
+COMPLETE_PATH = ("rm.request", "rm.select", "gridftp.connect",
+                 "gridftp.first_byte")
+
+
+@dataclass(frozen=True)
+class LifeStage:
+    """One contiguous pipeline stage within a lifeline."""
+
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One injected fault's active window (from fault.begin/fault.end)."""
+
+    kind: str
+    target: str
+    start: float
+    end: float
+    description: str = ""
+
+    def overlaps(self, t0: float, t1: float) -> bool:
+        return self.start < t1 and self.end > t0
+
+
+@dataclass
+class Lifeline:
+    """Everything one logical file went through, reconstructed."""
+
+    file: str
+    ticket: Optional[str] = None
+    events: List[LogRecord] = field(default_factory=list)
+    stages: List[LifeStage] = field(default_factory=list)
+    outcome: Optional[str] = None          # done | failed | cancelled
+    failure_class: Optional[str] = None    # FailureClass value on failure
+    error: Optional[str] = None
+    requested_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    faults: List[FaultWindow] = field(default_factory=list)
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.requested_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.requested_at
+
+    @property
+    def ttfb(self) -> Optional[float]:
+        """Time from first GridFTP connect to the first byte arriving."""
+        connect = self._first("gridftp.connect")
+        first = self._first("gridftp.first_byte")
+        if connect is None or first is None:
+            return None
+        return first - connect
+
+    @property
+    def complete(self) -> bool:
+        """True when the lifeline is terminal and — for successes —
+        visited every milestone of the canonical path in order."""
+        if self.outcome is None:
+            return False
+        if self.outcome != "done":
+            return True
+        t = -float("inf")
+        for name in COMPLETE_PATH:
+            at = self._first(name, after=t)
+            if at is None:
+                return False
+            t = at
+        return True
+
+    def stage_totals(self) -> Dict[str, float]:
+        """Total seconds per stage name (repeats summed)."""
+        totals: Dict[str, float] = {}
+        for stage in self.stages:
+            totals[stage.name] = totals.get(stage.name, 0.0) \
+                + stage.duration
+        return totals
+
+    def _first(self, event: str,
+               after: float = -float("inf")) -> Optional[float]:
+        for rec in self.events:
+            if rec.event == event and rec.t >= after:
+                return rec.t
+        return None
+
+    def __repr__(self) -> str:
+        dur = f"{self.duration:.3f}s" if self.duration is not None else "?"
+        return (f"Lifeline({self.file!r}, {self.outcome or 'incomplete'}, "
+                f"{len(self.stages)} stages, {dur})")
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Aggregate latency statistics for one stage name."""
+
+    name: str
+    count: int
+    total: float
+    mean: float
+    max: float
+
+
+def extract_fault_windows(records: Iterable[LogRecord]
+                          ) -> List[FaultWindow]:
+    """Pair fault.begin / fault.end events into windows.
+
+    Unmatched begins (the run ended mid-fault) close at +inf so they
+    still overlap everything after their onset.
+    """
+    open_faults: Dict[Tuple[str, str], LogRecord] = {}
+    windows: List[FaultWindow] = []
+    for rec in records:
+        if rec.event == "fault.begin":
+            key = (rec.fields.get("kind", "?"),
+                   rec.fields.get("target", "?"))
+            open_faults[key] = rec
+        elif rec.event == "fault.end":
+            key = (rec.fields.get("kind", "?"),
+                   rec.fields.get("target", "?"))
+            begin = open_faults.pop(key, None)
+            if begin is not None:
+                windows.append(FaultWindow(
+                    key[0], key[1], begin.t, rec.t,
+                    begin.fields.get("description", "")))
+    for key, begin in open_faults.items():
+        windows.append(FaultWindow(key[0], key[1], begin.t,
+                                   float("inf"),
+                                   begin.fields.get("description", "")))
+    windows.sort(key=lambda w: (w.start, w.kind, w.target))
+    return windows
+
+
+def reconstruct_lifelines(records: Iterable[LogRecord],
+                          attach_faults: bool = True
+                          ) -> Dict[str, Lifeline]:
+    """Group a ULM log into per-file lifelines with stage breakdowns.
+
+    Any record carrying a ``file`` field joins that file's lifeline;
+    records are processed in time order. With ``attach_faults`` (the
+    default), fault windows overlapping a lifeline's active period are
+    attached to it — the injected cause lands on the same timeline as
+    its symptom.
+    """
+    ordered = sorted(records, key=lambda r: r.t)
+    lifelines: Dict[str, Lifeline] = {}
+    for rec in ordered:
+        name = rec.fields.get("file")
+        if name is None:
+            continue
+        life = lifelines.get(name)
+        if life is None:
+            life = lifelines[name] = Lifeline(file=name)
+        life.events.append(rec)
+        if life.ticket is None and "ticket" in rec.fields:
+            life.ticket = rec.fields["ticket"]
+    for life in lifelines.values():
+        _build_stages(life)
+    if attach_faults:
+        for window in extract_fault_windows(ordered):
+            for life in lifelines.values():
+                t0 = life.requested_at
+                t1 = (life.finished_at if life.finished_at is not None
+                      else float("inf"))
+                if t0 is not None and window.overlaps(t0, t1):
+                    life.faults.append(window)
+    return lifelines
+
+
+def _build_stages(life: Lifeline) -> None:
+    """Derive the stage list from a lifeline's milestone events."""
+    current: Optional[Tuple[str, float]] = None
+    for rec in life.events:
+        if rec.event == "rm.request" and life.requested_at is None:
+            life.requested_at = rec.t
+        if rec.event in TERMINAL_EVENTS:
+            if current is not None:
+                life.stages.append(LifeStage(current[0], current[1],
+                                             rec.t))
+                current = None
+            life.outcome = TERMINAL_EVENTS[rec.event]
+            life.finished_at = rec.t
+            if rec.event == "rm.failure":
+                life.failure_class = rec.fields.get("cls")
+                life.error = rec.fields.get("reason")
+            continue
+        stage_name = MILESTONE_STAGES.get(rec.event)
+        if stage_name is None:
+            continue
+        if current is not None:
+            life.stages.append(LifeStage(current[0], current[1], rec.t))
+        current = (stage_name, rec.t)
+    if current is not None:
+        # Run ended mid-flight: close the open stage at its own start so
+        # durations stay well-defined (zero-length tail).
+        life.stages.append(LifeStage(current[0], current[1], current[1]))
+
+
+def stage_breakdown(lifelines: Iterable[Lifeline]
+                    ) -> Dict[str, StageStats]:
+    """Aggregate per-stage latency statistics across lifelines."""
+    acc: Dict[str, List[float]] = {}
+    for life in lifelines:
+        for stage in life.stages:
+            acc.setdefault(stage.name, []).append(stage.duration)
+    return {name: StageStats(name=name, count=len(vals),
+                             total=float(sum(vals)),
+                             mean=float(sum(vals) / len(vals)),
+                             max=float(max(vals)))
+            for name, vals in sorted(acc.items())}
+
+
+def ttfb_values(lifelines: Iterable[Lifeline]) -> List[float]:
+    """Time-to-first-byte distribution across lifelines (where known)."""
+    return [life.ttfb for life in lifelines if life.ttfb is not None]
+
+
+def failure_breakdown(lifelines: Iterable[Lifeline]) -> Dict[str, int]:
+    """Failed-lifeline counts per FailureClass value."""
+    out: Dict[str, int] = {}
+    for life in lifelines:
+        if life.outcome == "failed":
+            cls = life.failure_class or "?"
+            out[cls] = out.get(cls, 0) + 1
+    return dict(sorted(out.items()))

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.sim.core import Environment
 
@@ -19,10 +20,17 @@ class LogRecord:
     fields: Dict[str, str] = field(default_factory=dict)
 
     def to_ulm(self) -> str:
-        """Render in NetLogger's Universal Logger Message format."""
-        parts = [f"DATE={_stamp(self.t)}", f"HOST={self.host}",
-                 f"PROG={self.prog}", f"NL.EVNT={self.event}"]
-        parts.extend(f"{k.upper()}={v}" for k, v in
+        """Render in NetLogger's Universal Logger Message format.
+
+        Values containing whitespace, quotes, or backslashes are
+        double-quoted with backslash escapes so that free-text fields
+        (e.g. failure reasons) survive the round trip through
+        :func:`parse_ulm`.
+        """
+        parts = [f"DATE={_stamp(self.t)}", f"HOST={_quote(self.host)}",
+                 f"PROG={_quote(self.prog)}",
+                 f"NL.EVNT={_quote(self.event)}"]
+        parts.extend(f"{k.upper()}={_quote(v)}" for k, v in
                      sorted(self.fields.items()))
         return " ".join(parts)
 
@@ -32,6 +40,61 @@ def _stamp(t: float) -> str:
     return f"{t:014.3f}"
 
 
+def _quote(value: str) -> str:
+    """Quote a field value if it would break space-delimited parsing."""
+    value = str(value)
+    if value and not any(c in value for c in ' \t"\\'):
+        return value
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _tokenize(line: str) -> Iterator[Tuple[str, str]]:
+    """Yield (KEY, value) pairs, honouring double-quoted values."""
+    i, n = 0, len(line)
+    while i < n:
+        while i < n and line[i] in " \t":
+            i += 1
+        if i >= n:
+            return
+        eq = line.find("=", i)
+        if eq < 0:
+            raise ValueError(f"malformed ULM token {line[i:].split()[0]!r}")
+        key = line[i:eq]
+        if not key or any(c in key for c in ' \t"'):
+            raise ValueError(f"malformed ULM token {line[i:eq + 1]!r}")
+        i = eq + 1
+        if i < n and line[i] == '"':
+            i += 1
+            buf: List[str] = []
+            closed = False
+            while i < n:
+                c = line[i]
+                if c == "\\" and i + 1 < n:
+                    buf.append(line[i + 1])
+                    i += 2
+                    continue
+                if c == '"':
+                    closed = True
+                    i += 1
+                    break
+                buf.append(c)
+                i += 1
+            if not closed:
+                raise ValueError(
+                    f"unterminated quoted value for {key!r}")
+            if i < n and line[i] not in " \t":
+                raise ValueError(
+                    f"malformed ULM token after quoted {key!r}")
+            yield key, "".join(buf)
+        else:
+            end = i
+            while end < n and line[end] not in " \t":
+                end += 1
+            yield key, line[i:end]
+            i = end
+
+
 def parse_ulm(line: str) -> LogRecord:
     """Parse one ULM line back into a :class:`LogRecord`.
 
@@ -39,10 +102,7 @@ def parse_ulm(line: str) -> LogRecord:
     centrally; round-tripping through text is the interchange format.
     """
     fields = {}
-    for token in line.split():
-        if "=" not in token:
-            raise ValueError(f"malformed ULM token {token!r}")
-        key, _, value = token.partition("=")
+    for key, value in _tokenize(line):
         fields[key] = value
     try:
         t = float(fields.pop("DATE"))
@@ -61,14 +121,32 @@ def parse_ulm_log(text: str) -> List[LogRecord]:
 
 
 class NetLogger:
-    """An append-only event log shared by instrumented components."""
+    """An append-only event log shared by instrumented components.
+
+    Parameters
+    ----------
+    env, host, prog:
+        Environment and the default HOST/PROG stamped on records.
+    capacity:
+        When set, the log becomes a ring buffer holding the most recent
+        ``capacity`` records; evictions are counted in :attr:`dropped`.
+        The default (None) keeps every record — the historical
+        behaviour, right for short runs and tests. Long Figure 8 runs
+        should bound it.
+    """
 
     def __init__(self, env: Environment, host: str = "localhost",
-                 prog: str = "repro"):
+                 prog: str = "repro", capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 when set")
         self.env = env
         self.default_host = host
         self.default_prog = prog
-        self.records: List[LogRecord] = []
+        self.capacity = capacity
+        self.records = (deque(maxlen=capacity) if capacity is not None
+                        else [])
+        self.dropped = 0        # records evicted by the ring buffer
+        self.emitted = 0        # records ever appended
 
     def event(self, name: str, host: Optional[str] = None,
               prog: Optional[str] = None, **fields) -> LogRecord:
@@ -76,18 +154,22 @@ class NetLogger:
         record = LogRecord(self.env.now, host or self.default_host,
                            prog or self.default_prog, name,
                            {k: str(v) for k, v in fields.items()})
+        if (self.capacity is not None
+                and len(self.records) == self.capacity):
+            self.dropped += 1
         self.records.append(record)
+        self.emitted += 1
         return record
 
     def select(self, event: Optional[str] = None,
                host: Optional[str] = None) -> List[LogRecord]:
         """Filter by event name and/or host."""
-        out = self.records
+        out = list(self.records)
         if event is not None:
             out = [r for r in out if r.event == event]
         if host is not None:
             out = [r for r in out if r.host == host]
-        return list(out)
+        return out
 
     def dump_ulm(self) -> str:
         """The whole log as ULM text."""

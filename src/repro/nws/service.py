@@ -39,11 +39,13 @@ class NetworkWeatherService:
     """
 
     def __init__(self, env: Environment, network: FluidNetwork,
-                 mds=None, rng: Optional[np.random.Generator] = None):
+                 mds=None, rng: Optional[np.random.Generator] = None,
+                 obs=None):
         self.env = env
         self.network = network
         self.mds = mds
         self.rng = rng
+        self.obs = obs          # optional repro.obs.Observability bundle
         self.sensors: Dict[Tuple[str, str], NetworkSensor] = {}
         self._bw: Dict[Tuple[str, str], AdaptiveForecaster] = {}
         self._lat: Dict[Tuple[str, str], AdaptiveForecaster] = {}
@@ -75,8 +77,17 @@ class NetworkWeatherService:
         self._lat[key].update(result.latency)
         self._last[key] = result
         self._counts[key] += 1
+        forecast = self.forecast(*key)
+        if self.obs is not None:
+            self.obs.count("nws.measurements_total", src=key[0],
+                           dst=key[1])
+            if forecast is not None:
+                self.obs.gauge("nws.forecast_bandwidth_bytes",
+                               forecast.bandwidth, src=key[0], dst=key[1])
+                self.obs.gauge("nws.forecast_latency_seconds",
+                               forecast.latency, src=key[0], dst=key[1])
         if self.mds is not None:
-            self.mds.publish_nws(key[0], key[1], self.forecast(*key))
+            self.mds.publish_nws(key[0], key[1], forecast)
 
     def observe(self, src: str, dst: str, bandwidth: float,
                 latency: float) -> None:

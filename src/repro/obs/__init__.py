@@ -1,0 +1,97 @@
+"""``repro.obs`` — the simulation-time observability layer.
+
+Three legs, bundled by :class:`Observability` so a component needs one
+optional reference to get all of them:
+
+- :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges,
+  histograms with label sets and sim-clock timestamps (Prometheus-style
+  text + JSON export);
+- :class:`~repro.obs.trace.Tracer` — causal spans carrying
+  ticket/file/transfer ids through the whole request path;
+- a :class:`~repro.netlogger.log.NetLogger` — the ULM event log the
+  lifeline analysis in :mod:`repro.netlogger.analysis` consumes.
+
+Every emit helper checks for ``None`` legs, so components can be handed
+a partially-wired bundle (e.g. metrics only) and instrumentation always
+degrades to a no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.netlogger.log import NetLogger
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import Span, Tracer
+from repro.sim.core import Environment
+
+
+@dataclass
+class Observability:
+    """The bundle instrumented components carry (all legs optional)."""
+
+    env: Environment
+    logger: Optional[NetLogger] = None
+    metrics: Optional[MetricsRegistry] = None
+    tracer: Optional[Tracer] = None
+
+    @classmethod
+    def create(cls, env: Environment, host: str = "localhost",
+               prog: str = "repro", logger: Optional[NetLogger] = None,
+               capacity: Optional[int] = None) -> "Observability":
+        """A fully-wired bundle; pass ``logger`` to share an existing
+        event log (``capacity`` bounds a newly-created one)."""
+        if logger is None:
+            logger = NetLogger(env, host=host, prog=prog,
+                               capacity=capacity)
+        return cls(env=env, logger=logger, metrics=MetricsRegistry(env),
+                   tracer=Tracer(env))
+
+    # -- guarded emit helpers --------------------------------------------
+    def event(self, name: str, host: Optional[str] = None,
+              prog: Optional[str] = None, **fields) -> None:
+        """Append a ULM event (no-op without a logger)."""
+        if self.logger is not None:
+            self.logger.event(name, host=host, prog=prog, **fields)
+
+    def count(self, name: str, amount: float = 1.0, **labels) -> None:
+        """Increment a counter (no-op without metrics)."""
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount, **labels)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set a gauge (no-op without metrics)."""
+        if self.metrics is not None:
+            self.metrics.gauge(name).set(value, **labels)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record a histogram observation (no-op without metrics)."""
+        if self.metrics is not None:
+            self.metrics.histogram(name).observe(value, **labels)
+
+    def span(self, name: str, trace: Optional[str] = None,
+             parent: Optional[Span] = None, **fields) -> Optional[Span]:
+        """Open a span (None without a tracer — callers must guard)."""
+        if self.tracer is None:
+            return None
+        return self.tracer.start(name, trace=trace, parent=parent,
+                                 **fields)
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,278 @@
+"""Simulation-time metrics: counters, gauges, histograms with labels.
+
+The paper's SC'2000 runs were reported through hand-assembled NetLogger
+plots; the ESG follow-on systems (Bernholdt et al.) ran production
+telemetry. This module is the simulation-scale equivalent: every sample
+is stamped with the *simulated* clock, label sets distinguish hosts /
+files / failure classes, and the whole registry exports as
+Prometheus-style text or JSON so a run's numbers can be diffed across
+seeds and configurations.
+
+Metrics are deliberately allocation-light: a metric is a dict from a
+sorted label tuple to a float (or bucket array), and the registry
+get-or-creates by name so instrumented components never hold more than
+an :class:`~repro.obs.Observability` reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.core import Environment
+
+#: Default histogram buckets: spans sim-seconds from RTT scale to the
+#: Figure 8 multi-hour scale (values beyond the last bound land in +Inf).
+DEFAULT_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0,
+                   300.0, 1800.0)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _sanitize(name: str) -> str:
+    """A logical metric name → a Prometheus-legal one."""
+    return "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+
+
+def _render_labels(key: LabelKey, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Metric:
+    """Base: one named family of labelled samples."""
+
+    kind = "untyped"
+
+    def __init__(self, env: Environment, name: str, help: str = ""):
+        self.env = env
+        self.name = name
+        self.help = help
+        self._samples: Dict[LabelKey, float] = {}
+        self._updated: Dict[LabelKey, float] = {}
+
+    def labelsets(self) -> List[LabelKey]:
+        return list(self._samples)
+
+    def value(self, **labels) -> float:
+        """The current value for one label set (0.0 if never touched)."""
+        return self._samples.get(_label_key(labels), 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum across every label set."""
+        return sum(self._samples.values())
+
+    def _touch(self, key: LabelKey) -> None:
+        self._updated[key] = self.env.now
+
+    # -- export -----------------------------------------------------------
+    def render(self) -> List[str]:
+        name = _sanitize(self.name)
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {name} {self.help}")
+        lines.append(f"# TYPE {name} {self.kind}")
+        for key in sorted(self._samples):
+            lines.append(f"{name}{_render_labels(key)} "
+                         f"{self._samples[key]:g}")
+        return lines
+
+    def to_json(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "samples": [{"labels": dict(key), "value": self._samples[key],
+                         "t": self._updated.get(key)}
+                        for key in sorted(self._samples)],
+        }
+
+
+class Counter(Metric):
+    """Monotonically increasing count (events, bytes, failures)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + amount
+        self._touch(key)
+
+
+class Gauge(Metric):
+    """A value that can go up and down (queue depth, bytes in flight)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        self._samples[key] = float(value)
+        self._touch(key)
+
+    def add(self, amount: float, **labels) -> None:
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + amount
+        self._touch(key)
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram (latency, transfer-time breakdowns)."""
+
+    kind = "histogram"
+
+    def __init__(self, env: Environment, name: str, help: str = "",
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        super().__init__(env, name, help)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        # per labelset: [counts per bound] + overflow; plus sum/count
+        self._buckets: Dict[LabelKey, List[int]] = {}
+        self._counts: Dict[LabelKey, int] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        row = self._buckets.get(key)
+        if row is None:
+            row = [0] * (len(self.bounds) + 1)
+            self._buckets[key] = row
+            self._counts[key] = 0
+            self._samples[key] = 0.0
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                row[i] += 1
+                break
+        else:
+            row[-1] += 1
+        self._samples[key] += value          # running sum
+        self._counts[key] += 1
+        self._touch(key)
+
+    def count(self, **labels) -> int:
+        """Number of observations for one label set."""
+        return self._counts.get(_label_key(labels), 0)
+
+    def sum(self, **labels) -> float:
+        """Sum of observations for one label set."""
+        return self._samples.get(_label_key(labels), 0.0)
+
+    @property
+    def total_count(self) -> int:
+        return sum(self._counts.values())
+
+    def quantile(self, q: float, **labels) -> Optional[float]:
+        """Bucket-resolution quantile estimate (upper bound of the
+        bucket holding the q-th observation); None if empty."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError("q must be in [0, 1]")
+        row = self._buckets.get(_label_key(labels))
+        n = self.count(**labels)
+        if row is None or n == 0:
+            return None
+        target = q * n
+        running = 0
+        for i, bound in enumerate(self.bounds):
+            running += row[i]
+            if running >= target:
+                return bound
+        return float("inf")
+
+    def render(self) -> List[str]:
+        name = _sanitize(self.name)
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {name} {self.help}")
+        lines.append(f"# TYPE {name} histogram")
+        for key in sorted(self._buckets):
+            row = self._buckets[key]
+            running = 0
+            for i, bound in enumerate(self.bounds):
+                running += row[i]
+                le = 'le="%g"' % bound
+                lines.append(f"{name}_bucket{_render_labels(key, le)} "
+                             f"{running}")
+            running += row[-1]
+            le_inf = 'le="+Inf"'
+            lines.append(f"{name}_bucket{_render_labels(key, le_inf)} "
+                         f"{running}")
+            lines.append(f"{name}_sum{_render_labels(key)} "
+                         f"{self._samples[key]:g}")
+            lines.append(f"{name}_count{_render_labels(key)} "
+                         f"{self._counts[key]}")
+        return lines
+
+    def to_json(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "buckets": list(self.bounds),
+            "samples": [{"labels": dict(key),
+                         "counts": list(self._buckets[key]),
+                         "sum": self._samples[key],
+                         "count": self._counts[key],
+                         "t": self._updated.get(key)}
+                        for key in sorted(self._buckets)],
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric of a simulation run."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, cls, name: str, help: str, **kwargs) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(self.env, name, help, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(f"metric {name!r} already registered as "
+                            f"{metric.kind}")
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[Metric]:
+        """Look a metric up without creating it."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    # -- export -----------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].render())
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """The whole registry as one JSON-serializable dict."""
+        return {"t": self.env.now,
+                "metrics": {name: m.to_json()
+                            for name, m in sorted(self._metrics.items())}}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._metrics)} metrics)"

@@ -1,0 +1,146 @@
+"""Causal tracing: spans threading ticket/file/transfer ids together.
+
+A :class:`Span` is one timed operation (a ticket, a file's pipeline, a
+replica attempt, a fault window); spans form trees via ``parent`` and
+share a ``trace_id`` (one per request ticket, or the shared ``"faults"``
+trace for injected incidents), so `repro trace` can show a CDAT request,
+its catalog lookups, the GridFTP attempts, HRM staging, *and* the fault
+windows that explain the retries — on one timeline.
+
+The tracer never yields or schedules: recording a span is a list append
+plus clock reads, so instrumentation does not perturb the simulation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.sim.core import Environment
+
+
+class Span:
+    """One timed, attributed operation within a trace."""
+
+    __slots__ = ("tracer", "name", "trace_id", "span_id", "parent_id",
+                 "started_at", "ended_at", "status", "fields")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: str,
+                 span_id: str, parent_id: Optional[str],
+                 started_at: float, fields: Dict[str, str]):
+        self.tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.started_at = started_at
+        self.ended_at: Optional[float] = None
+        self.status = "open"
+        self.fields = fields
+
+    def annotate(self, **fields) -> "Span":
+        """Attach extra key/values to the span."""
+        for k, v in fields.items():
+            self.fields[k] = str(v)
+        return self
+
+    def finish(self, status: str = "ok", **fields) -> "Span":
+        """Close the span (idempotent — the first finish wins)."""
+        if self.ended_at is None:
+            self.ended_at = self.tracer.env.now
+            self.status = status
+            self.annotate(**fields)
+        return self
+
+    @property
+    def open(self) -> bool:
+        return self.ended_at is None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.ended_at is None:
+            return None
+        return self.ended_at - self.started_at
+
+    # context-manager sugar: ``with tracer.start(...) as span:``
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish(status="error" if exc_type is not None else "ok")
+
+    def __repr__(self) -> str:
+        dur = f"{self.duration:.3f}s" if self.duration is not None else "open"
+        return (f"Span({self.name!r}, trace={self.trace_id}, "
+                f"{self.status}, {dur})")
+
+
+class Tracer:
+    """Records spans; a simulation run usually owns exactly one."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.spans: List[Span] = []
+        self._serial = itertools.count(1)
+
+    def start(self, name: str, trace: Optional[str] = None,
+              parent: Optional[Span] = None, **fields) -> Span:
+        """Open a span; ``trace`` defaults to the parent's trace (or a
+        fresh trace id when there is no parent)."""
+        sid = f"s{next(self._serial)}"
+        if trace is None:
+            trace = parent.trace_id if parent is not None else f"t:{sid}"
+        span = Span(self, name, trace, sid,
+                    parent.span_id if parent is not None else None,
+                    self.env.now, {k: str(v) for k, v in fields.items()})
+        self.spans.append(span)
+        return span
+
+    # -- queries ----------------------------------------------------------
+    def for_trace(self, trace_id: str) -> List[Span]:
+        """Every span of one trace, in start order."""
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def find(self, name: str) -> List[Span]:
+        """Every span with a given operation name."""
+        return [s for s in self.spans if s.name == name]
+
+    def traces(self) -> List[str]:
+        """Distinct trace ids, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.trace_id, None)
+        return list(seen)
+
+    # -- rendering --------------------------------------------------------
+    def render_tree(self, trace_id: str) -> str:
+        """An indented text rendering of one trace's span tree."""
+        spans = self.for_trace(trace_id)
+        children: Dict[Optional[str], List[Span]] = {}
+        for s in spans:
+            children.setdefault(s.parent_id, []).append(s)
+        by_id = {s.span_id: s for s in spans}
+        roots = [s for s in spans
+                 if s.parent_id is None or s.parent_id not in by_id]
+        lines = [f"trace {trace_id}"]
+
+        def walk(span: Span, depth: int) -> None:
+            dur = (f"{span.duration:.3f}s" if span.duration is not None
+                   else "open")
+            extra = " ".join(f"{k}={v}" for k, v in
+                             sorted(span.fields.items()))
+            lines.append(f"{'  ' * depth}- {span.name} "
+                         f"[{span.started_at:.3f}s +{dur}] "
+                         f"{span.status}" + (f" {extra}" if extra else ""))
+            for child in children.get(span.span_id, []):
+                walk(child, depth + 1)
+
+        for root in roots:
+            walk(root, 1)
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        return f"Tracer({len(self.spans)} spans)"

@@ -41,6 +41,15 @@ class SelectionPolicy(Protocol):
         ...  # pragma: no cover
 
 
+def _record_rank(obs, policy: str,
+                 candidates: List[ReplicaCandidate]) -> None:
+    """Selection metrics shared by all policies (no-op without obs)."""
+    if obs is None:
+        return
+    obs.count("replica.ranks_total", policy=policy)
+    obs.gauge("replica.candidates", len(candidates), policy=policy)
+
+
 class NwsBestPolicy:
     """Highest forecast bandwidth first (the paper's policy).
 
@@ -48,11 +57,13 @@ class NwsBestPolicy:
     into the ranking for size-aware decisions.
     """
 
-    def __init__(self, consider_staging: bool = False):
+    def __init__(self, consider_staging: bool = False, obs=None):
         self.consider_staging = consider_staging
+        self.obs = obs
 
     def rank(self, candidates: List[ReplicaCandidate],
              nbytes: float) -> List[ReplicaCandidate]:
+        _record_rank(self.obs, "nws-best", candidates)
         if self.consider_staging:
             return sorted(candidates,
                           key=lambda c: c.transfer_estimate(nbytes))
@@ -71,14 +82,16 @@ class NwsSpreadPolicy:
     replicas at once.
     """
 
-    def __init__(self, tolerance: float = 0.5):
+    def __init__(self, tolerance: float = 0.5, obs=None):
         if tolerance < 0:
             raise ValueError("tolerance must be >= 0")
         self.tolerance = tolerance
+        self.obs = obs
         self._counter = 0
 
     def rank(self, candidates: List[ReplicaCandidate],
              nbytes: float) -> List[ReplicaCandidate]:
+        _record_rank(self.obs, "nws-spread", candidates)
         if not candidates:
             return []
         ranked = sorted(candidates,
@@ -98,11 +111,13 @@ class NwsSpreadPolicy:
 class RandomPolicy:
     """Uniform random order (ablation baseline)."""
 
-    def __init__(self, rng: np.random.Generator):
+    def __init__(self, rng: np.random.Generator, obs=None):
         self.rng = rng
+        self.obs = obs
 
     def rank(self, candidates: List[ReplicaCandidate],
              nbytes: float) -> List[ReplicaCandidate]:
+        _record_rank(self.obs, "random", candidates)
         order = self.rng.permutation(len(candidates))
         return [candidates[i] for i in order]
 
@@ -112,11 +127,13 @@ class RoundRobinPolicy:
     baseline; also what a load-balancing selector without performance
     information would do)."""
 
-    def __init__(self):
+    def __init__(self, obs=None):
+        self.obs = obs
         self._counter = 0
 
     def rank(self, candidates: List[ReplicaCandidate],
              nbytes: float) -> List[ReplicaCandidate]:
+        _record_rank(self.obs, "round-robin", candidates)
         if not candidates:
             return []
         ordered = sorted(candidates, key=lambda c: c.location.name)

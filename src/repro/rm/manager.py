@@ -30,6 +30,7 @@ from repro.gridftp.server import GridFtpServer
 from repro.mds.service import MdsService
 from repro.netlogger.log import NetLogger
 from repro.nws.service import NetworkWeatherService
+from repro.obs import Observability
 from repro.replica.catalog import LocationInfo, ReplicaCatalog
 from repro.replica.selection import (
     NwsBestPolicy,
@@ -76,6 +77,13 @@ class RequestManager:
         Optional :class:`~repro.rm.resilience.ResiliencePolicy` enabling
         retry rounds, circuit breakers, and default deadlines. ``None``
         preserves the original single-sweep behaviour exactly.
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle: pipeline
+        metrics, per-ticket/per-file/per-attempt spans, and lifeline
+        milestone events (``rm.request`` → ``rm.select`` →
+        ``gridftp.connect`` → ``gridftp.first_byte`` → terminal). When
+        ``obs`` carries a logger and ``logger`` is unset, events go to
+        the bundle's log.
     """
 
     def __init__(self, env: Environment, catalog: ReplicaCatalog,
@@ -87,7 +95,8 @@ class RequestManager:
                  nws: Optional[NetworkWeatherService] = None,
                  logger: Optional[NetLogger] = None,
                  config: Optional[GridFtpConfig] = None,
-                 resilience: Optional[ResiliencePolicy] = None):
+                 resilience: Optional[ResiliencePolicy] = None,
+                 obs: Optional[Observability] = None):
         self.env = env
         self.catalog = catalog
         self.mds = mds
@@ -98,7 +107,14 @@ class RequestManager:
         self.policy = policy or NwsBestPolicy()
         self.reliability = reliability
         self.nws = nws
+        self.obs = obs
+        if logger is None and obs is not None:
+            logger = obs.logger
         self.logger = logger
+        # selection policies record ranking metrics when instrumented
+        if obs is not None and getattr(self.policy, "obs", None) is None \
+                and hasattr(self.policy, "obs"):
+            self.policy.obs = obs
         self.config = config or GridFtpConfig()
         self.resilience = resilience
         self.tickets: List[RequestTicket] = []
@@ -137,7 +153,14 @@ class RequestManager:
             deadline_at=(now + ticket_deadline
                          if ticket_deadline is not None else None))
         if res is not None:
-            ticket.breakers = res.board()
+            ticket.breakers = res.board(obs=self.obs)
+        if self.obs is not None:
+            self.obs.count("rm.tickets_total")
+            span = self.obs.span("rm.ticket", trace=f"ticket-{ticket.id}",
+                                 ticket=ticket.id, files=len(files))
+            if span is not None:
+                ticket.span = span
+                ticket.done.add_callback(lambda _ev: span.finish())
         self.tickets.append(ticket)
         workers = [self.env.process(self._file_thread(ticket, fr))
                    for fr in files]
@@ -200,7 +223,7 @@ class RequestManager:
                     handle = ticket._handles.get(fr.logical_file)
                     if handle is not None and not handle.done.triggered:
                         handle.abort("deadline exceeded")
-                    self._fail(fr, "deadline exceeded",
+                    self._fail(ticket, fr, "deadline exceeded",
                                FailureClass.DEADLINE)
             if ticket.complete and not ticket.done.triggered:
                 ticket.done.succeed(ticket)
@@ -219,14 +242,16 @@ class RequestManager:
             # first; nothing left to do.
             return True
         if ticket.cancelled:
-            self._cancel(fr)
+            self._cancel(ticket, fr)
             return True
         if fr.deadline_at is not None and self.env.now >= fr.deadline_at:
-            self._fail(fr, "deadline exceeded", FailureClass.DEADLINE)
+            self._fail(ticket, fr, "deadline exceeded",
+                       FailureClass.DEADLINE)
             return True
         if (ticket.deadline_at is not None
                 and self.env.now >= ticket.deadline_at):
-            self._fail(fr, "ticket deadline exceeded", FailureClass.DEADLINE)
+            self._fail(ticket, fr, "ticket deadline exceeded",
+                       FailureClass.DEADLINE)
             return True
         return False
 
@@ -237,7 +262,10 @@ class RequestManager:
         if self.logger is not None:
             self.logger.event("rm.retry", prog="request-manager",
                               file=fr.logical_file, round=str(attempt),
+                              ticket=str(ticket.id),
                               backoff=f"{delay:.2f}")
+        if self.obs is not None:
+            self.obs.count("rm.retries_total")
         self._say(f"{fr.logical_file}: retry round {attempt + 1} in "
                   f"{delay:.1f}s")
         timer = self.env.timeout(delay)
@@ -245,8 +273,37 @@ class RequestManager:
         yield self.env.any_of([timer, ticket.aborted])
 
     def _file_thread(self, ticket: RequestTicket, fr: FileRequest):
+        """Span/event wrapper around :meth:`_file_body`.
+
+        Emits the ``rm.request`` lifeline milestone, opens the per-file
+        span under the ticket span, and guarantees both the span finish
+        and the outcome metrics fire no matter how the body exits.
+        """
         env = self.env
         fr.started_at = env.now
+        obs = self.obs
+        if obs is not None:
+            obs.event("rm.request", prog="request-manager",
+                      ticket=ticket.id, file=fr.logical_file,
+                      collection=fr.collection)
+            fr.span = obs.span("rm.file", parent=ticket.span,
+                               trace=f"ticket-{ticket.id}",
+                               ticket=ticket.id, file=fr.logical_file)
+        try:
+            yield from self._file_body(ticket, fr)
+        finally:
+            if obs is not None:
+                outcome = fr.state.value
+                if fr.span is not None:
+                    fr.span.finish(status=outcome)
+                obs.count("rm.files_total", outcome=outcome)
+                if fr.finished_at is not None:
+                    obs.observe("rm.file_seconds",
+                                fr.finished_at - fr.started_at,
+                                outcome=outcome)
+
+    def _file_body(self, ticket: RequestTicket, fr: FileRequest):
+        env = self.env
         if self._should_stop(ticket, fr):
             return
         rounds = (self.resilience.retry.max_rounds
@@ -273,7 +330,7 @@ class RequestManager:
                 return
             if not replicas:
                 # Permanent: no amount of retrying invents a replica.
-                self._fail(fr, "no replicas registered",
+                self._fail(ticket, fr, "no replicas registered",
                            FailureClass.LOOKUP)
                 return
             size = self.catalog.logical_file_size(fr.collection,
@@ -286,6 +343,11 @@ class RequestManager:
             candidates = yield from self._rank(replicas, fr)
             if self._should_stop(ticket, fr):
                 return
+            if self.obs is not None and candidates:
+                self.obs.event("rm.select", prog="request-manager",
+                               ticket=ticket.id, file=fr.logical_file,
+                               host=candidates[0].location.hostname,
+                               candidates=len(candidates))
             self._say(f"selecting replica for {fr.logical_file}: "
                       + ", ".join(f"{c.location.hostname}"
                                   f"@{mbps_str(c.bandwidth)}"
@@ -328,7 +390,7 @@ class RequestManager:
                 fr.replica_switches += 1
                 self._say(f"{fr.logical_file}: switching replica after "
                           f"{err}")
-        self._fail(fr, last_error, last_class)
+        self._fail(ticket, fr, last_error, last_class)
 
     def _rank(self, replicas: List[LocationInfo], fr: FileRequest):
         """Forecast-and-rank; degrades gracefully when MDS is down.
@@ -374,6 +436,8 @@ class RequestManager:
                 stage_wait=stage_wait))
         if degraded:
             fr.degraded_rankings += 1
+            if self.obs is not None:
+                self.obs.count("rm.degraded_ranks_total")
             if self.logger is not None:
                 self.logger.event("rm.rank.degraded",
                                   prog="request-manager",
@@ -412,12 +476,26 @@ class RequestManager:
             self._say(f"{fr.logical_file}: staging from MSS at "
                       f"{loc.hostname}")
         started = env.now
+        span = None
+        if self.obs is not None:
+            span = self.obs.span("rm.attempt", parent=fr.span,
+                                 trace=(f"ticket-{ticket.id}"
+                                        if ticket is not None else None),
+                                 file=fr.logical_file, host=loc.hostname)
         try:
             session = yield from self.client.connect(
                 self.dest_host, loc.hostname, self.config)
         except GridFtpError as exc:
+            if span is not None:
+                span.finish(status="error", error="connect")
             return (False, f"connect failed ({exc.reply.code})",
                     FailureClass.CONNECT)
+        connected_at = env.now
+        if self.obs is not None:
+            self.obs.event(
+                "gridftp.connect", prog="gridftp", host=loc.hostname,
+                file=fr.logical_file,
+                **({"ticket": ticket.id} if ticket is not None else {}))
         transfer = env.process(session.get(
             fr.logical_file, self.dest_fs, self.dest_host,
             handle=handle, config=self.config, record=True))
@@ -447,6 +525,8 @@ class RequestManager:
         except GridFtpError as exc:
             fr.bytes_done = handle.bytes_done()
             session.close()
+            if span is not None:
+                span.finish(status="error", error=str(exc.reply))
             return False, str(exc.reply), self._classify(exc)
         fr.bytes_done = stats.transferred_bytes
         fr.size = stats.transferred_bytes
@@ -459,21 +539,36 @@ class RequestManager:
                                  server.host.node,
                                  self.dest_host.node) / 2)
         if self.logger is not None:
+            extra = ({"ticket": str(ticket.id)}
+                     if ticket is not None else {})
             self.logger.event("rm.transfer.done", prog="request-manager",
                               file=fr.logical_file, host=loc.hostname,
                               bytes=f"{stats.transferred_bytes:.0f}",
-                              seconds=f"{elapsed:.3f}")
+                              seconds=f"{elapsed:.3f}", **extra)
+        if self.obs is not None:
+            self.obs.count("rm.transfers_total", host=loc.hostname)
+            self.obs.count("rm.transfer_bytes_total",
+                           stats.transferred_bytes, host=loc.hostname)
+            self.obs.observe("rm.transfer_seconds", elapsed)
+            if handle.first_byte_at is not None:
+                self.obs.observe("rm.ttfb_seconds",
+                                 handle.first_byte_at - connected_at)
+        if span is not None:
+            span.finish(status="ok", bytes=stats.transferred_bytes)
         session.close()
         return True, "", None
 
-    def _cancel(self, fr: FileRequest) -> None:
+    def _cancel(self, ticket: RequestTicket, fr: FileRequest) -> None:
         if fr.state in _TERMINAL:
             return
         fr.state = FileState.CANCELLED
         fr.finished_at = self.env.now
         self._say(f"{fr.logical_file}: cancelled")
+        if self.obs is not None:
+            self.obs.event("rm.cancelled", prog="request-manager",
+                           ticket=ticket.id, file=fr.logical_file)
 
-    def _fail(self, fr: FileRequest, reason: str,
+    def _fail(self, ticket: RequestTicket, fr: FileRequest, reason: str,
               failure_class: Optional[FailureClass] = None) -> None:
         if fr.state in _TERMINAL:
             return
@@ -486,7 +581,9 @@ class RequestManager:
         if self.logger is not None:
             self.logger.event("rm.failure", prog="request-manager",
                               file=fr.logical_file, cls=label,
-                              reason=reason)
+                              ticket=str(ticket.id), reason=reason)
+        if self.obs is not None:
+            self.obs.count("rm.failures_total", cls=label)
 
 
 def mbps_str(bandwidth: float) -> str:

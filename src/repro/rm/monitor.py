@@ -21,17 +21,46 @@ from repro.sim.core import Environment
 
 
 class TransferMonitor:
-    """Periodic snapshots of a ticket's progress."""
+    """Periodic snapshots of a ticket's progress.
+
+    Parameters
+    ----------
+    env, manager, ticket, period:
+        What to watch and how often.
+    events:
+        Optional NetLogger (or any iterable of
+        :class:`~repro.netlogger.log.LogRecord`). When hooked, the
+        Messages pane shows the ticket's latest NetLogger lifeline
+        events instead of the manager's free-text messages. Defaults to
+        ``obs.logger`` when an ``obs`` bundle is given.
+    obs:
+        Optional :class:`~repro.obs.Observability`; each :meth:`run`
+        sample also updates the ``monitor.sample`` gauge (bytes done,
+        labelled by ticket).
+    """
 
     def __init__(self, env: Environment, manager: RequestManager,
-                 ticket: RequestTicket, period: float = 3.0):
+                 ticket: RequestTicket, period: float = 3.0,
+                 events=None, obs=None):
         if period <= 0:
             raise ValueError("period must be positive")
         self.env = env
         self.manager = manager
         self.ticket = ticket
         self.period = period
+        self.obs = obs
+        if events is None and obs is not None:
+            events = obs.logger
+        self.events = events
         self.snapshots: List[Tuple[float, float]] = []  # (t, total bytes)
+
+    def _ticket_events(self, limit: int) -> List:
+        """The newest ULM records carrying this ticket's id."""
+        if self.events is None:
+            return []
+        tid = str(self.ticket.id)
+        out = [r for r in self.events if r.fields.get("ticket") == tid]
+        return out[-limit:]
 
     # -- rendering --------------------------------------------------------
     def render(self, bar_width: int = 30, max_messages: int = 8) -> str:
@@ -56,18 +85,33 @@ class TransferMonitor:
                                 f"{'es' if fr.replica_switches != 1 else ''})"
                                 if fr.replica_switches else ""))
         lines.append("--- Messages ---")
-        for mt, text in self.manager.messages[-max_messages:]:
-            lines.append(f"[{mt:9.1f}s] {text}")
+        records = self._ticket_events(max_messages)
+        if records:
+            for r in records:
+                detail = " ".join(
+                    f"{k}={v}" for k, v in sorted(r.fields.items())
+                    if k != "ticket")
+                lines.append(f"[{r.t:9.1f}s] {r.event} {detail}".rstrip())
+        else:
+            for mt, text in self.manager.messages[-max_messages:]:
+                lines.append(f"[{mt:9.1f}s] {text}")
         return "\n".join(lines)
 
     # -- sampling ------------------------------------------------------------
     def run(self):
         """Simulation process: sample until the ticket completes."""
         while not self.ticket.done.triggered:
-            self.snapshots.append((self.env.now, self.ticket.bytes_done))
+            self._sample()
             tick = self.env.timeout(self.period)
             yield self.env.any_of([self.ticket.done, tick])
-        self.snapshots.append((self.env.now, self.ticket.bytes_done))
+        self._sample()
+
+    def _sample(self) -> None:
+        done = self.ticket.bytes_done
+        self.snapshots.append((self.env.now, done))
+        if self.obs is not None:
+            self.obs.gauge("monitor.sample", done,
+                           ticket=str(self.ticket.id))
 
     def aggregate_rate_series(self) -> List[Tuple[float, float]]:
         """(t, bytes/s) estimated from consecutive snapshots."""

@@ -44,6 +44,8 @@ class FileRequest:
     failure_class: Optional[object] = None    # FailureClass on FAILED
     breaker_skips: int = 0                    # candidates shed by breakers
     degraded_rankings: int = 0                # ranks done without live NWS
+    # per-file trace span (repro.obs), attached by an instrumented RM
+    span: Optional[object] = field(default=None, repr=False)
 
     @property
     def fraction(self) -> float:
@@ -77,6 +79,8 @@ class RequestTicket:
         self.aborted: Event = Event(env)
         # per-ticket circuit-breaker board, attached by the RM at submit
         self.breakers = None
+        # per-ticket trace span (repro.obs), attached by an instrumented RM
+        self.span = None
         # transient per-file transfer handles, maintained by the RM
         self._handles: dict = {}
 

@@ -104,7 +104,7 @@ class CircuitBreaker:
     """
 
     def __init__(self, host: str, failure_threshold: int = 3,
-                 reset_timeout: float = 120.0):
+                 reset_timeout: float = 120.0, obs=None):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         if reset_timeout <= 0:
@@ -112,6 +112,7 @@ class CircuitBreaker:
         self.host = host
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
+        self.obs = obs          # optional repro.obs.Observability bundle
         self.state = BreakerState.CLOSED
         self.failures = 0
         self.opened_at: Optional[float] = None
@@ -125,12 +126,20 @@ class CircuitBreaker:
         if self.state is BreakerState.OPEN:
             if now - self.opened_at >= self.reset_timeout:
                 self.state = BreakerState.HALF_OPEN
+                if self.obs is not None:
+                    self.obs.event("rm.breaker.half_open",
+                                   prog="request-manager", host=self.host)
                 return True
-            self.skips += 1
+            self._record_skip()
             return False
         # HALF_OPEN: one probe is already in flight; shed the rest.
-        self.skips += 1
+        self._record_skip()
         return False
+
+    def _record_skip(self) -> None:
+        self.skips += 1
+        if self.obs is not None:
+            self.obs.count("rm.breaker_skips_total", host=self.host)
 
     def record_failure(self, now: float) -> None:
         """Feed one failed attempt; may open the circuit."""
@@ -141,12 +150,20 @@ class CircuitBreaker:
             self.opened_at = now
             self.trips += 1
             self.failures = 0
+            if self.obs is not None:
+                self.obs.event("rm.breaker.open", prog="request-manager",
+                               host=self.host, trips=self.trips)
+                self.obs.count("rm.breaker_trips_total", host=self.host)
 
     def record_success(self) -> None:
         """A successful attempt closes the circuit and clears history."""
+        was_open = self.state is not BreakerState.CLOSED
         self.state = BreakerState.CLOSED
         self.failures = 0
         self.opened_at = None
+        if was_open and self.obs is not None:
+            self.obs.event("rm.breaker.close", prog="request-manager",
+                           host=self.host)
 
     def __repr__(self) -> str:
         return (f"CircuitBreaker({self.host!r}, {self.state.value}, "
@@ -162,9 +179,10 @@ class BreakerBoard:
     """
 
     def __init__(self, failure_threshold: int = 3,
-                 reset_timeout: float = 120.0):
+                 reset_timeout: float = 120.0, obs=None):
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
+        self.obs = obs
         self._breakers: Dict[str, CircuitBreaker] = {}
 
     def for_host(self, host: str) -> CircuitBreaker:
@@ -172,7 +190,7 @@ class BreakerBoard:
         breaker = self._breakers.get(host)
         if breaker is None:
             breaker = CircuitBreaker(host, self.failure_threshold,
-                                     self.reset_timeout)
+                                     self.reset_timeout, obs=self.obs)
             self._breakers[host] = breaker
         return breaker
 
@@ -225,7 +243,7 @@ class ResiliencePolicy:
             if value is not None and value <= 0:
                 raise ValueError(f"{name} must be positive when set")
 
-    def board(self) -> BreakerBoard:
-        """A fresh per-ticket breaker board."""
+    def board(self, obs=None) -> BreakerBoard:
+        """A fresh per-ticket breaker board (optionally instrumented)."""
         return BreakerBoard(self.breaker_failure_threshold,
-                            self.breaker_reset_timeout)
+                            self.breaker_reset_timeout, obs=obs)

@@ -38,6 +38,7 @@ from repro.net.transport import Transport
 from repro.net.units import gbps, mbps
 from repro.netlogger.log import NetLogger
 from repro.nws.service import NetworkWeatherService
+from repro.obs import Observability
 from repro.replica.catalog import ReplicaCatalog
 from repro.replica.manager import ReplicaManager
 from repro.rm.manager import RequestManager
@@ -104,6 +105,9 @@ class EsgTestbed:
     file_size_override:
         Force every catalog file to this size in bytes (bulk transfer
         experiments; incompatible with ``materialize``).
+    log_capacity:
+        When set, bound the shared NetLogger to a ring buffer of this
+        many records (long runs); default keeps everything.
     """
 
     def __init__(self, seed: int = 0, years: int = 1,
@@ -114,7 +118,8 @@ class EsgTestbed:
                  file_size_override: Optional[float] = None,
                  reliability: Optional[ReliabilityPolicy] = None,
                  config: Optional[GridFtpConfig] = None,
-                 resilience: Optional["ResiliencePolicy"] = None):
+                 resilience: Optional["ResiliencePolicy"] = None,
+                 log_capacity: Optional[int] = None):
         self.env = Environment(seed=seed)
         env = self.env
         self.grid = grid or GridSpec(nlat=32, nlon=64, months=12)
@@ -122,7 +127,11 @@ class EsgTestbed:
         self.network = FluidNetwork(env, self.topology)
         self.dns = NameService(env)
         self.transport = Transport(env, self.network, self.dns)
-        self.logger = NetLogger(env, host="client", prog="esg")
+        self.logger = NetLogger(env, host="client", prog="esg",
+                                capacity=log_capacity)
+        # One observability bundle for the whole testbed: the shared ULM
+        # log above plus a metrics registry and tracer (repro.obs).
+        self.obs = Observability.create(env, logger=self.logger)
 
         # -- security fabric
         ca = CertificateAuthority("DOE Science Grid CA")
@@ -154,10 +163,12 @@ class EsgTestbed:
                 mss = MassStorageSystem(env, cache_capacity=400 * 2**30,
                                         drives=2, name="hpss-pdsf")
                 hrm = HierarchicalResourceManager(env, mss, fs,
-                                                  name="hrm-pdsf")
+                                                  name="hrm-pdsf",
+                                                  obs=self.obs)
             server = GridFtpServer(env, host, fs, gsi=self.gsi,
                                    credential_chain=server_id.chain,
-                                   hrm=hrm, hostname=hostname)
+                                   hrm=hrm, hostname=hostname,
+                                   obs=self.obs)
             install_standard_plugins(server)
             self.registry[hostname] = server
             self.sites[name] = EsgSite(name, hostname, host, server, fs,
@@ -195,11 +206,12 @@ class EsgTestbed:
         self.metadata_catalog = MetadataCatalog(env, name="pcmdi")
         self.mds = MdsService(env, name="esg")
         self.nws = NetworkWeatherService(env, self.network, mds=self.mds,
-                                         rng=env.rng.stream("nws"))
+                                         rng=env.rng.stream("nws"),
+                                         obs=self.obs)
         self.gridftp = GridFtpClient(
             env, self.transport, self.registry,
             credential_chain=self.user.make_proxy(env.now),
-            config=config or GridFtpConfig(parallelism=4))
+            config=config or GridFtpConfig(parallelism=4), obs=self.obs)
         self.replica_manager = ReplicaManager(env, self.replica_catalog,
                                               self.gridftp)
         self.request_manager = RequestManager(
@@ -207,7 +219,7 @@ class EsgTestbed:
             self.registry, self.client_host, self.client_fs,
             reliability=reliability, nws=self.nws, logger=self.logger,
             config=config or GridFtpConfig(parallelism=4),
-            resilience=resilience)
+            resilience=resilience, obs=self.obs)
 
         # -- the user's analysis tool
         from repro.cdat.client import CdatClient
@@ -326,11 +338,11 @@ class EsgTestbed:
         client = GridFtpClient(
             self.env, self.transport, self.registry,
             credential_chain=self.user.make_proxy(self.env.now),
-            config=self.gridftp.config, client_name=name)
+            config=self.gridftp.config, client_name=name, obs=self.obs)
         rm = RequestManager(
             self.env, self.replica_catalog, self.mds, client,
             self.registry, host, fs, nws=self.nws, logger=self.logger,
-            config=self.gridftp.config)
+            config=self.gridftp.config, obs=self.obs)
         return rm
 
     # -- ESG-II: DODS-protocol access to the same archive -----------------------
@@ -368,7 +380,8 @@ class EsgTestbed:
                 for site in self.sites.values() if site.hrm is not None}
         return FaultInjector(self.env, self.network, self.dns,
                              servers=dict(self.registry),
-                             directories=directories, hrms=hrms)
+                             directories=directories, hrms=hrms,
+                             obs=self.obs)
 
     # -- conveniences -----------------------------------------------------------
     def warm_nws(self, until: float = 120.0) -> None:

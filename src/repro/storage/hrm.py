@@ -53,15 +53,20 @@ class HierarchicalResourceManager:
     """Stages tape-resident files to disk ahead of WAN transfer."""
 
     def __init__(self, env: Environment, mss: MassStorageSystem,
-                 serve_fs: FileSystem, name: str = "hrm"):
+                 serve_fs: FileSystem, name: str = "hrm", obs=None):
         self.env = env
         self.mss = mss
         self.serve_fs = serve_fs
         self.name = name
+        self.obs = obs          # optional repro.obs.Observability bundle
         self._inflight: Dict[str, StageRequest] = {}
         self.completed: list = []  # history of StageRequest
         self.down = False
         self.stage_failures = 0
+
+    def _event(self, name: str, **fields) -> None:
+        if self.obs is not None:
+            self.obs.event(name, host=self.name, prog="hrm", **fields)
 
     # -- fault injection -----------------------------------------------------
     def fail_staging(self) -> None:
@@ -69,15 +74,22 @@ class HierarchicalResourceManager:
         if self.down:
             return
         self.down = True
+        self._event("hrm.down", inflight=len(self._inflight))
         for req in list(self._inflight.values()):
             self._inflight.pop(req.name, None)
             self.stage_failures += 1
+            self._event("hrm.stage.failed", file=req.name,
+                        reason="hrm outage")
+            if self.obs is not None:
+                self.obs.count("hrm.stages_total", outcome="failed")
             if not req.ready.triggered:
                 req.ready.fail(StagingError(
                     f"{self.name}: staging failed for {req.name!r}"))
 
     def restore(self) -> None:
         """The HRM is healthy again; new stage requests are accepted."""
+        if self.down:
+            self._event("hrm.restored")
         self.down = False
 
     # -- staging -------------------------------------------------------------
@@ -92,8 +104,12 @@ class HierarchicalResourceManager:
             existing.waiters += 1
             return existing
         req = StageRequest(name, Event(self.env), self.env.now)
+        self._event("hrm.stage.request", file=name)
         if self.down:
             self.stage_failures += 1
+            self._event("hrm.stage.failed", file=name, reason="hrm down")
+            if self.obs is not None:
+                self.obs.count("hrm.stages_total", outcome="failed")
             req.ready.fail(StagingError(
                 f"{self.name}: HRM is down, cannot stage {name!r}"))
             return req
@@ -103,6 +119,7 @@ class HierarchicalResourceManager:
             self.mss.cache.pin(name)
             req.ready.succeed(self.serve_fs.stat(name))
             self.completed.append(req)
+            self._record_done(req, cached=True)
             return req
         self._inflight[name] = req
         self.env.process(self._stage(req))
@@ -113,6 +130,10 @@ class HierarchicalResourceManager:
             file = yield from self.mss.retrieve(req.name)
         except Exception as exc:
             self._inflight.pop(req.name, None)
+            self._event("hrm.stage.failed", file=req.name,
+                        reason=str(exc))
+            if self.obs is not None:
+                self.obs.count("hrm.stages_total", outcome="failed")
             if not req.ready.triggered:
                 req.ready.fail(exc)
             return
@@ -125,7 +146,19 @@ class HierarchicalResourceManager:
         req.completed_at = self.env.now
         self._inflight.pop(req.name, None)
         self.completed.append(req)
+        self._record_done(req)
         req.ready.succeed(file)
+
+    def _record_done(self, req: StageRequest, cached: bool = False) -> None:
+        """``hrm.stage.done`` lifeline milestone + staging metrics."""
+        seconds = req.stage_time or 0.0
+        self._event("hrm.stage.done", file=req.name,
+                    seconds=f"{seconds:.3f}",
+                    cached="1" if cached else "0")
+        if self.obs is not None:
+            outcome = "cached" if cached else "staged"
+            self.obs.count("hrm.stages_total", outcome=outcome)
+            self.obs.observe("hrm.stage_seconds", seconds)
 
     def release(self, name: str) -> None:
         """Signal that a transfer referencing ``name`` has finished."""

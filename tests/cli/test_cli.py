@@ -14,6 +14,10 @@ def test_parser_grammar():
     assert args.minutes == 5.0
     args = parser.parse_args(["portal", "pr"])
     assert args.variable == "pr"
+    args = parser.parse_args(["trace", "--spans"])
+    assert args.command == "trace" and args.spans
+    args = parser.parse_args(["metrics", "--json"])
+    assert args.command == "metrics" and args.json
     with pytest.raises(SystemExit):
         parser.parse_args([])  # command required
     with pytest.raises(SystemExit):
@@ -53,3 +57,31 @@ def test_portal_command(capsys):
     out = capsys.readouterr().out
     assert "server-side January mean" in out
     assert "less than the file" in out
+
+
+def test_trace_command(capsys):
+    assert main(["--seed", "4", "trace", "--spans"]) == 0
+    out = capsys.readouterr().out
+    assert "=== lifelines" in out
+    assert "=== per-stage latency ===" in out
+    assert "select=" in out and "stream=" in out
+    assert "TTFB:" in out
+    assert "[INCOMPLETE]" not in out
+    assert "trace ticket-" in out       # --spans tree
+    assert "rm.file" in out
+
+
+def test_metrics_command(capsys):
+    assert main(["--seed", "4", "metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE rm_transfers_total counter" in out
+    assert "rm_transfer_seconds_bucket" in out
+
+
+def test_metrics_command_json(capsys):
+    import json
+    assert main(["--seed", "4", "metrics", "--json"]) == 0
+    blob = json.loads(capsys.readouterr().out)
+    assert blob["metrics"]["rm.transfers_total"]["type"] == "counter"
+    samples = blob["metrics"]["rm.transfers_total"]["samples"]
+    assert sum(s["value"] for s in samples) > 0

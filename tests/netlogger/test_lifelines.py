@@ -1,0 +1,189 @@
+"""Lifeline reconstruction — unit cases plus the seeded chaos run."""
+
+import pytest
+
+from repro.net import FaultSchedule
+from repro.netlogger import (LogRecord, extract_fault_windows,
+                             failure_breakdown, reconstruct_lifelines,
+                             stage_breakdown, ttfb_values)
+from repro.scenarios.esg import EsgTestbed
+
+
+def rec(t, event, **fields):
+    return LogRecord(t, "client", "rm", event,
+                     {k: str(v) for k, v in fields.items()})
+
+
+# ---------------------------------------------------------------------------
+# Unit: hand-built event logs
+# ---------------------------------------------------------------------------
+
+def test_happy_path_stages_telescope():
+    records = [
+        rec(0.0, "rm.request", file="f1", ticket=1),
+        rec(1.0, "rm.select", file="f1", ticket=1, host="anl"),
+        rec(2.0, "gridftp.connect", file="f1", ticket=1, host="anl"),
+        rec(3.0, "gridftp.first_byte", file="f1", host="anl"),
+        rec(10.0, "rm.transfer.done", file="f1", ticket=1),
+    ]
+    life = reconstruct_lifelines(records)["f1"]
+    assert life.outcome == "done"
+    assert life.complete
+    assert life.ticket == "1"
+    assert life.requested_at == 0.0
+    assert life.finished_at == 10.0
+    assert life.ttfb == pytest.approx(1.0)
+    totals = life.stage_totals()
+    assert totals == {"select": 1.0, "connect": 1.0,
+                      "first_byte": 1.0, "stream": 7.0}
+    assert sum(totals.values()) == pytest.approx(life.duration)
+
+
+def test_tape_staging_interleaves_first_byte():
+    records = [
+        rec(0.0, "rm.request", file="f2"),
+        rec(1.0, "rm.select", file="f2"),
+        rec(2.0, "gridftp.connect", file="f2"),
+        rec(2.5, "hrm.stage.request", file="f2"),
+        rec(60.0, "hrm.stage.done", file="f2"),
+        rec(61.0, "gridftp.first_byte", file="f2"),
+        rec(70.0, "rm.transfer.done", file="f2"),
+    ]
+    life = reconstruct_lifelines(records)["f2"]
+    totals = life.stage_totals()
+    assert totals["stage"] == pytest.approx(57.5)
+    # first_byte accrues both before staging and after it finishes
+    assert totals["first_byte"] == pytest.approx(0.5 + 1.0)
+    assert sum(totals.values()) == pytest.approx(life.duration)
+    assert life.complete
+
+
+def test_retry_backoff_and_failure_attribution():
+    records = [
+        rec(0.0, "rm.request", file="f3"),
+        rec(1.0, "rm.select", file="f3"),
+        rec(2.0, "rm.retry", file="f3", attempt=1),
+        rec(8.0, "rm.select", file="f3"),
+        rec(20.0, "rm.failure", file="f3", cls="host_down",
+            reason="connect failed (425)"),
+    ]
+    life = reconstruct_lifelines(records)["f3"]
+    assert life.outcome == "failed"
+    assert life.complete  # failures are terminal, hence complete
+    assert life.failure_class == "host_down"
+    assert life.error == "connect failed (425)"
+    totals = life.stage_totals()
+    assert totals["backoff"] == pytest.approx(6.0)
+    assert sum(totals.values()) == pytest.approx(life.duration)
+    assert failure_breakdown([life]) == {"host_down": 1}
+
+
+def test_unterminated_lifeline_is_incomplete():
+    records = [
+        rec(0.0, "rm.request", file="f4"),
+        rec(1.0, "rm.select", file="f4"),
+    ]
+    life = reconstruct_lifelines(records)["f4"]
+    assert life.outcome is None
+    assert not life.complete
+    assert life.duration is None
+    # the open tail stage closes at zero length
+    assert life.stages[-1].duration == 0.0
+
+
+def test_records_without_file_field_are_ignored():
+    records = [rec(0.0, "nws.forecast", src="a", dst="b"),
+               rec(1.0, "rm.request", file="f5")]
+    assert list(reconstruct_lifelines(records)) == ["f5"]
+
+
+def test_fault_window_extraction_pairs_and_unmatched():
+    records = [
+        rec(5.0, "fault.begin", kind="degrade", target="wan",
+            description="storm"),
+        rec(9.0, "fault.end", kind="degrade", target="wan"),
+        rec(12.0, "fault.begin", kind="server", target="anl"),
+    ]
+    windows = extract_fault_windows(records)
+    assert len(windows) == 2
+    assert (windows[0].kind, windows[0].start, windows[0].end) == \
+        ("degrade", 5.0, 9.0)
+    assert windows[0].description == "storm"
+    assert windows[1].end == float("inf")
+    assert windows[0].overlaps(0.0, 6.0)
+    assert not windows[0].overlaps(9.0, 20.0)
+
+
+def test_faults_attach_only_to_overlapping_lifelines():
+    records = [
+        rec(0.0, "rm.request", file="early"),
+        rec(10.0, "rm.transfer.done", file="early"),
+        rec(15.0, "rm.request", file="late"),
+        rec(25.0, "rm.transfer.done", file="late"),
+        rec(5.0, "fault.begin", kind="degrade", target="wan"),
+        rec(9.0, "fault.end", kind="degrade", target="wan"),
+        rec(20.0, "fault.begin", kind="server", target="anl"),
+        rec(23.0, "fault.end", kind="server", target="anl"),
+    ]
+    lifelines = reconstruct_lifelines(records)
+    assert [w.kind for w in lifelines["early"].faults] == ["degrade"]
+    assert [w.kind for w in lifelines["late"].faults] == ["server"]
+
+
+def test_stage_breakdown_aggregates():
+    records = [
+        rec(0.0, "rm.request", file="a"),
+        rec(2.0, "rm.select", file="a"),
+        rec(3.0, "gridftp.connect", file="a"),
+        rec(4.0, "gridftp.first_byte", file="a"),
+        rec(5.0, "rm.transfer.done", file="a"),
+        rec(0.0, "rm.request", file="b"),
+        rec(4.0, "rm.select", file="b"),
+        rec(5.0, "gridftp.connect", file="b"),
+        rec(6.0, "gridftp.first_byte", file="b"),
+        rec(9.0, "rm.transfer.done", file="b"),
+    ]
+    lives = list(reconstruct_lifelines(records).values())
+    stats = stage_breakdown(lives)
+    assert stats["select"].count == 2
+    assert stats["select"].mean == pytest.approx(3.0)
+    assert stats["select"].max == pytest.approx(4.0)
+    assert ttfb_values(lives) == [pytest.approx(1.0), pytest.approx(1.0)]
+
+
+# ---------------------------------------------------------------------------
+# Integration: seeded chaos schedule over the full testbed
+# ---------------------------------------------------------------------------
+
+def test_chaos_schedule_attributes_each_fault_to_one_lifeline():
+    """Sequential transfers with one injected fault each: every fault
+    window must land in exactly one file's lifeline."""
+    tb = EsgTestbed(seed=11, file_size_override=50 * 2**20)
+    tb.warm_nws(90.0)
+    injector = tb.fault_injector()
+    ds = tb.dataset_ids()[0]
+    names = tb.metadata_catalog.resolve(ds, "tas")[:3]
+    for i, name in enumerate(names):
+        injector.install(FaultSchedule().degrade(
+            "wan-client:rev", start=1.0, duration=2.0, fraction=0.5,
+            description=f"chaos-{i}"))
+        ticket = tb.request_manager.submit([(ds, name)])
+        tb.env.run(until=ticket.done)
+        tb.env.run(until=tb.env.now + 5.0)  # gap between lifelines
+
+    lifelines = reconstruct_lifelines(tb.logger.records)
+    assert set(names) <= set(lifelines)
+    windows = extract_fault_windows(tb.logger.records)
+    chaos = [w for w in windows if w.description.startswith("chaos-")]
+    assert len(chaos) == len(names)
+    for window in chaos:
+        owners = [life.file for life in lifelines.values()
+                  if window in life.faults]
+        assert len(owners) == 1, (window, owners)
+    # every transfer still completed, stages telescoping as usual
+    for name in names:
+        life = lifelines[name]
+        assert life.outcome == "done"
+        assert life.complete
+        assert sum(life.stage_totals().values()) == \
+            pytest.approx(life.duration)

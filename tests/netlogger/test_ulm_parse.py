@@ -45,9 +45,28 @@ def test_parse_errors():
     assert parse_ulm_log("\n\n") == []
 
 
+def test_quoted_values_roundtrip():
+    """Free-text values (failure reasons, fault descriptions) survive."""
+    env = Environment()
+    log = NetLogger(env, host="client ws", prog="rm")
+    log.event("rm.failure", reason="connect failed (425)",
+              path='disk "scratch" \\tmp', empty="")
+    line = log.records[0].to_ulm()
+    back = parse_ulm(line)
+    assert back.host == "client ws"
+    assert back.fields["reason"] == "connect failed (425)"
+    assert back.fields["path"] == 'disk "scratch" \\tmp'
+    assert back.fields["empty"] == ""
+
+
+def test_unterminated_quote_is_rejected():
+    with pytest.raises(ValueError, match="unterminated"):
+        parse_ulm('DATE=1 HOST=h PROG=p NL.EVNT=e REASON="oops')
+
+
 @given(st.dictionaries(
     st.text(alphabet="abcdefgh", min_size=1, max_size=6),
-    st.text(alphabet="xyz0123.", min_size=1, max_size=8),
+    st.text(alphabet='xyz0123. "\\', max_size=12),
     max_size=5))
 @settings(max_examples=60, deadline=None)
 def test_property_fields_roundtrip(fields):

@@ -1,0 +1,84 @@
+"""Tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_counter_accumulates_per_label_set(env):
+    c = Counter(env, "rm.transfers_total")
+    c.inc(host="a")
+    c.inc(host="a")
+    c.inc(2.0, host="b")
+    c.inc()
+    assert c.value(host="a") == 2.0
+    assert c.value(host="b") == 2.0
+    assert c.value() == 1.0
+    assert c.total == 5.0
+
+
+def test_counter_rejects_negative(env):
+    c = Counter(env, "n")
+    with pytest.raises(ValueError):
+        c.inc(-1.0)
+
+
+def test_gauge_set_and_add(env):
+    g = Gauge(env, "queue.depth")
+    g.set(3.0)
+    g.add(2.0)
+    assert g.value() == 5.0
+    g.set(1.0, host="x")
+    assert g.value(host="x") == 1.0
+
+
+def test_histogram_buckets_and_quantiles(env):
+    h = Histogram(env, "lat", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+        h.observe(v)
+    assert h.count() == 5
+    assert h.sum() == pytest.approx(56.05)
+    # median sits in the (0.1, 1.0] bucket
+    assert 0.1 <= h.quantile(0.5) <= 1.0
+    assert h.quantile(0.8) == pytest.approx(10.0)
+    # the top observation overflows every finite bucket
+    assert h.quantile(0.99) == float("inf")
+    assert Histogram(env, "empty").quantile(0.5) is None
+
+
+def test_registry_get_or_create_and_kind_clash(env):
+    reg = MetricsRegistry(env)
+    c1 = reg.counter("a.total", help="things")
+    assert reg.counter("a.total") is c1
+    with pytest.raises(TypeError):
+        reg.gauge("a.total")
+    assert "a.total" in reg.names()
+
+
+def test_prometheus_rendering_sanitizes_names(env):
+    reg = MetricsRegistry(env)
+    reg.counter("rm.transfers_total").inc(host="anl")
+    reg.histogram("rm.seconds", buckets=(1.0,)).observe(0.5)
+    text = reg.render_prometheus()
+    assert "rm_transfers_total{host=\"anl\"} 1" in text
+    assert "rm_seconds_bucket{le=\"1\"} 1" in text
+    assert "rm_seconds_bucket{le=\"+Inf\"} 1" in text
+    assert "rm_seconds_count 1" in text
+
+
+def test_json_export_is_serializable_with_sim_timestamps(env):
+    env.run(until=5.0)
+    reg = MetricsRegistry(env)
+    reg.counter("c").inc()
+    blob = json.loads(json.dumps(reg.to_json()))
+    sample = blob["metrics"]["c"]["samples"][0]
+    assert sample["value"] == 1.0
+    assert sample["t"] == 5.0

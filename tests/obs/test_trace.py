@@ -1,0 +1,91 @@
+"""Tests for the causal tracer."""
+
+import pytest
+
+from repro.obs.trace import Tracer
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def tracer(env):
+    return Tracer(env)
+
+
+def _advance(env, seconds):
+    env.run(until=env.now + seconds)
+
+
+def test_span_lifecycle_and_duration(env, tracer):
+    span = tracer.start("rm.file", trace="ticket-1", file="f1")
+    assert span.open
+    assert span.duration is None
+    _advance(env, 2.5)
+    span.finish(status="done", bytes=42)
+    assert not span.open
+    assert span.status == "done"
+    assert span.duration == pytest.approx(2.5)
+    assert span.fields["bytes"] == "42"
+
+
+def test_finish_is_idempotent(env, tracer):
+    span = tracer.start("op")
+    _advance(env, 1.0)
+    span.finish()
+    _advance(env, 1.0)
+    span.finish(status="late")
+    assert span.status == "ok"
+    assert span.duration == pytest.approx(1.0)
+
+
+def test_annotate_stringifies(tracer):
+    span = tracer.start("op").annotate(stripes=4)
+    assert span.fields["stripes"] == "4"
+
+
+def test_context_manager_records_error_status(tracer):
+    with pytest.raises(RuntimeError):
+        with tracer.start("op") as span:
+            raise RuntimeError("boom")
+    assert span.status == "error"
+    assert not span.open
+
+
+def test_parent_links_and_trace_defaults(tracer):
+    root = tracer.start("ticket")
+    child = tracer.start("file", parent=root)
+    orphan = tracer.start("loner")
+    assert root.trace_id == f"t:{root.span_id}"
+    assert child.trace_id == root.trace_id
+    assert child.parent_id == root.span_id
+    assert orphan.trace_id != root.trace_id
+
+
+def test_queries_and_trace_order(tracer):
+    a = tracer.start("ticket", trace="ticket-1")
+    tracer.start("file", parent=a)
+    tracer.start("fault.outage", trace="faults")
+    assert tracer.traces() == ["ticket-1", "faults"]
+    assert [s.name for s in tracer.for_trace("ticket-1")] == [
+        "ticket", "file"]
+    assert len(tracer.find("file")) == 1
+    assert len(tracer) == 3
+
+
+def test_render_tree_indents_children(env, tracer):
+    root = tracer.start("ticket", trace="ticket-9")
+    child = tracer.start("rm.file", parent=root, file="f1")
+    _advance(env, 1.0)
+    child.finish()
+    root.finish()
+    text = tracer.render_tree("ticket-9")
+    lines = text.splitlines()
+    assert lines[0] == "trace ticket-9"
+    assert lines[1].startswith("  - ticket")
+    assert lines[2].startswith("    - rm.file")
+    assert "file=f1" in lines[2]
+    assert "+1.000s" in lines[2]
