@@ -45,7 +45,7 @@ def fleet_run(n_users: int):
 
 def test_user_scaling(benchmark, show):
     def run():
-        return {n: fleet_run(n) for n in (1, 4, 12)}
+        return {n: fleet_run(n) for n in (1, 4, 12, 48)}
 
     results = run_once(benchmark, run)
     show()
@@ -68,3 +68,7 @@ def test_user_scaling(benchmark, show):
     assert results[12]["aggregate_mbps"] > results[4]["aggregate_mbps"]
     # ...and per-user latency degrades sublinearly (replicas spread load).
     assert results[12]["mean_makespan"] < 6 * results[1]["mean_makespan"]
+    # At community scale (48 users) the fleet still moves more aggregate
+    # traffic than at 12, and catalog load stays linear in users.
+    assert results[48]["aggregate_mbps"] >= results[12]["aggregate_mbps"]
+    assert results[48]["catalog_ops"] >= 3 * results[12]["catalog_ops"]

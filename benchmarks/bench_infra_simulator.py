@@ -32,7 +32,7 @@ def test_kernel_event_throughput(benchmark):
 
 
 def test_allocator_throughput(benchmark):
-    """Reallocate a 64-flow, 24-link network 500 times."""
+    """Full reallocation of a 64-flow, 24-link network, 500 times."""
     env = Environment()
     topo = Topology()
     for i in range(8):
@@ -46,7 +46,7 @@ def test_allocator_throughput(benchmark):
 
     def run():
         for _ in range(500):
-            net._assign_rates()
+            net.reallocate()
         return net.reallocations
 
     benchmark(run)
@@ -54,6 +54,52 @@ def test_allocator_throughput(benchmark):
     for link in topo.links.values():
         used = sum(f.rate for f in net.flows_on(link))
         assert used <= link.capacity * (1 + 1e-6)
+
+
+def test_allocator_reallocations_per_second(benchmark):
+    """Guard: incremental reallocation rate under realistic cap churn.
+
+    12 disjoint site components × 16 flows, every flow's cap stepping
+    on its own ~15 ms clock (the 32-stream slow-start pattern). The
+    component-scoped allocator must sustain well north of a thousand
+    reallocations per wall-second at this scale — if this collapses,
+    every experiment above gets slower.
+    """
+    env = Environment()
+    topo = Topology()
+    n_comp, per_comp = 12, 16
+    for c in range(n_comp):
+        for h in range(4):
+            topo.duplex_link(f"c{c}h{h}", f"c{c}core", mbps(1000), 0.001)
+    net = FluidNetwork(env, topo)
+    flows = []
+    for c in range(n_comp):
+        for i in range(per_comp):
+            flows.append(net.transfer(f"c{c}h{i % 4}",
+                                      f"c{c}h{(i + 1) % 4}", 1e15,
+                                      cap=mbps(20 + i)))
+
+    def churner(env, flow, period, lo, hi):
+        k = 0
+        while True:
+            yield env.timeout(period)
+            k += 1
+            flow.set_cap(mbps(lo + (k % 2) * (hi - lo)))
+
+    for i, f in enumerate(flows):
+        env.process(churner(env, f, 0.0146 + 1e-4 * (i % 7),
+                            20 + i % 16, 120 + i % 16))
+
+    def run():
+        env.run(until=env.now + 20.0)
+        return net.reallocations
+
+    import time
+    t0 = time.perf_counter()
+    total = benchmark(run)
+    wall = time.perf_counter() - t0
+    assert total / wall > 1000, (
+        f"allocator too slow: {total / wall:.0f} reallocations/s")
 
 
 def test_recorder_analysis_throughput(benchmark):

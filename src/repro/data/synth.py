@@ -19,6 +19,7 @@ computed from the grid (multi-GB transfer experiments without the RAM).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -67,8 +68,11 @@ class ClimateModelRun:
         return f"pcmdi.{self.model.lower()}.{self.run.lower()}"
 
     def _rng(self, year: int) -> np.random.Generator:
-        return np.random.default_rng(
-            abs(hash((self.model, self.run, self.seed, year))) % 2**32)
+        # zlib.crc32, not hash(): string hashing is salted per process
+        # (PYTHONHASHSEED), which would make "seeded" output differ
+        # between runs.
+        key = f"{self.model}|{self.run}|{self.seed}|{year}".encode()
+        return np.random.default_rng(zlib.crc32(key))
 
     # -- field synthesis ----------------------------------------------------
     def generate_year(self, year: int,

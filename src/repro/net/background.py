@@ -169,7 +169,10 @@ class LinkLoadModulator:
         if getattr(self.link, "faulted", False):
             return
         self.link.capacity = self.link.nominal_capacity * (1.0 - self.load)
-        self.network.reallocate()
+        # Component-scoped: an idle-floor tick (no foreground flows on
+        # the modulated link) costs nothing; otherwise only the link's
+        # component is recomputed.
+        self.network.link_updated(self.link)
 
     def _run(self):
         while True:

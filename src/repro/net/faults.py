@@ -260,7 +260,10 @@ class FaultInjector:
         self.log.append((self.env.now, f"{fault.kind} down",
                          fault.description or fault.target))
         span = self._fault_begin(fault)
-        self.network.reallocate()
+        # Scoped reallocation: only the components crossing the faulted
+        # links pay for the recompute (site outages coalesce into one).
+        for link in links:
+            self.network.link_updated(link)
         yield self.env.timeout(fault.duration)
         for link in links:
             if fault.kind == "degrade":
@@ -270,7 +273,8 @@ class FaultInjector:
         self.log.append((self.env.now, f"{fault.kind} restored",
                          fault.description or fault.target))
         self._fault_end(fault, span)
-        self.network.reallocate()
+        for link in links:
+            self.network.link_updated(link)
 
     def _run_server_fault(self, fault: Fault):
         server = self.servers[fault.target]

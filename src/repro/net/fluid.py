@@ -5,8 +5,32 @@ unfrozen flows' rates rise together until a link on their path saturates
 (its users freeze at their fair share) or the flow hits its own cap
 (TCP-window/CPU/disk ceiling, maintained by the caller). Rates therefore
 change only when flows start, finish, are aborted, change caps, or when a
-link's capacity changes — at which point :meth:`FluidNetwork.reallocate`
-recomputes the whole allocation and reschedules the next completion.
+link's capacity changes.
+
+The allocator is *incremental*: the cost of a change is proportional to
+the disturbance, not the network.
+
+- **Component scoping** — flows partition into connected components
+  (flows transitively sharing links, discovered by BFS over the
+  ``Link._flows`` index). Any flow start/finish/abort/cap change or
+  link-capacity change recomputes rates only for the affected component;
+  disjoint transfers never pay for each other.
+- **Same-instant coalescing** — mutations at one simulation timestamp
+  (32 slow-start streams stepping at an RTT boundary, a site fault
+  touching several links) mark their components dirty and collapse into
+  a single deferred recompute, run by a zero-delay low-priority event at
+  the end of the instant. No bytes move while dt = 0, so the collapsed
+  recompute is exact.
+- **Event-queue hygiene** — predicted completions live in an internal
+  heap (lazily invalidated by a per-flow version stamp); exactly one
+  simulator timer is kept pending, and it is only rescheduled when the
+  earliest completion instant actually changes. Cap churn therefore no
+  longer piles superseded timers into the event queue.
+
+``FluidNetwork(mode="reference")`` keeps the original semantics — a
+full-network synchronous recompute on every mutation — as the trusted
+baseline; the differential tests assert both modes agree on randomized
+workloads.
 
 This is the standard flow-level network model used when packet-level
 detail is unnecessary; the TCP behaviour the paper's results depend on
@@ -16,14 +40,15 @@ caps managed by :class:`repro.net.tcp.TcpStream`.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import math
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Set
 
-from repro.net.recorder import RateRecorder, RateSeries
+from repro.net.recorder import RateRecorder
 from repro.net.topology import Link
 from repro.sim.core import Environment
-from repro.sim.events import Event
+from repro.sim.events import Event, EventPriority
 
 _EPS_BYTES = 1e-3
 _EPS_RATE = 1e-9
@@ -47,8 +72,9 @@ class Flow:
 
     _ids = itertools.count(1)
 
-    __slots__ = ("id", "name", "path", "size", "remaining", "cap", "rate",
-                 "done", "recorder", "started_at", "finished_at", "_network")
+    __slots__ = ("id", "name", "path", "size", "cap", "rate",
+                 "done", "recorder", "started_at", "finished_at",
+                 "_network", "_remaining", "_advanced_at", "_pred_version")
 
     def __init__(self, network: "FluidNetwork", name: str, path: List[Link],
                  size: float, cap: float, recorder: Optional[RateRecorder]):
@@ -56,7 +82,6 @@ class Flow:
         self.name = name or f"flow-{self.id}"
         self.path = path
         self.size = float(size)
-        self.remaining = float(size)
         self.cap = float(cap)
         self.rate = 0.0
         self.done: Event = Event(network.env)
@@ -64,10 +89,22 @@ class Flow:
         self.started_at = network.env.now
         self.finished_at: Optional[float] = None
         self._network = network
+        self._remaining = float(size)
+        self._advanced_at = network.env.now
+        self._pred_version = 0  # bumps when rate changes; stales heap entries
+
+    @property
+    def remaining(self) -> float:
+        """Bytes still to deliver, exact at the current instant."""
+        if self.finished_at is None and self.rate > 0.0:
+            dt = self._network.env.now - self._advanced_at
+            if dt > 0.0:
+                return max(self._remaining - self.rate * dt, 0.0)
+        return self._remaining
 
     @property
     def transferred(self) -> float:
-        """Bytes delivered so far (advanced lazily at network events)."""
+        """Bytes delivered so far."""
         return self.size - self.remaining
 
     @property
@@ -76,8 +113,8 @@ class Flow:
         return self.finished_at is None and not self.done.triggered
 
     def progress(self) -> float:
-        """Up-to-the-instant bytes delivered (forces a network update)."""
-        self._network._update()
+        """Up-to-the-instant bytes delivered (forces a network flush)."""
+        self._network._flush_now()
         return self.transferred
 
     def set_cap(self, cap: float) -> None:
@@ -102,17 +139,47 @@ class FluidNetwork:
         Simulation environment.
     topology:
         The link graph; capacities are read live at each reallocation.
+    mode:
+        ``"incremental"`` (default) recomputes only the connected
+        component disturbed by a change and coalesces same-instant
+        changes; ``"reference"`` recomputes the whole network
+        synchronously on every mutation (the original behaviour, kept
+        as a differential-testing baseline and escape hatch).
     """
 
-    def __init__(self, env: Environment, topology) -> None:
+    def __init__(self, env: Environment, topology,
+                 mode: str = "incremental") -> None:
+        if mode not in ("incremental", "reference"):
+            raise ValueError(f"unknown allocator mode {mode!r}")
         self.env = env
         self.topology = topology
-        self.flows: List[Flow] = []
-        self._last_update = env.now
+        self.mode = mode
+        self._flow_map: Dict[int, Flow] = {}  # id -> active flow, ordered
+        # Dirty bookkeeping for deferred, component-scoped recomputes.
+        self._dirty_flows: Set[Flow] = set()
+        self._dirty_links: Set[Link] = set()
+        self._dirty_all = False
+        self._flush_scheduled = False
+        # Predicted completions: (t_abs, pred_version, flow_id, flow),
+        # lazily invalidated. One pending simulator timer covers the
+        # earliest valid entry.
+        self._completion_heap: list = []
         self._timer_version = 0
-        self.reallocations = 0  # instrumentation
+        self._timer_at = math.inf
+        self._timer_pending = False
+        self._timer_event = None
+        # Instrumentation.
+        self.reallocations = 0      # progressive-filling passes
+        self.flushes = 0            # coalesced flush rounds
+        self.flows_recomputed = 0   # sum of recompute scope sizes
+        self.timer_reschedules = 0  # simulator timers actually created
 
     # -- public API ------------------------------------------------------
+    @property
+    def flows(self) -> List[Flow]:
+        """Active flows, in start order."""
+        return list(self._flow_map.values())
+
     def transfer(self, src: str, dst: str, nbytes: float,
                  cap: float = math.inf, name: str = "",
                  recorder: Optional[RateRecorder] = None,
@@ -131,47 +198,68 @@ class FluidNetwork:
             flow.finished_at = self.env.now
             flow.done.succeed(flow)
             return flow
-        self._update()
-        self.flows.append(flow)
+        self._flow_map[flow.id] = flow
         for link in path:
             link._flows.add(flow)
-        self.reallocate()
+        self._mark_flow(flow)
         return flow
 
     def set_cap(self, flow: Flow, cap: float) -> None:
-        """Change ``flow``'s ceiling and reallocate."""
+        """Change ``flow``'s ceiling and schedule a reallocation."""
         if not flow.active:
             return
-        self._update()
         flow.cap = float(cap)
-        self.reallocate()
+        self._mark_flow(flow)
 
     def abort(self, flow: Flow, reason: str = "aborted") -> None:
         """Remove ``flow``; its waiters see a :class:`FlowError`."""
         if not flow.active:
             return
-        self._update()
+        now = self.env.now
+        self._advance(flow, now)
         self._detach(flow)
-        flow.finished_at = self.env.now
+        flow.finished_at = now
+        flow.rate = 0.0
+        flow._pred_version += 1
         if flow.recorder is not None:
-            flow.recorder.record(self.env.now, 0.0)
+            flow.recorder.record(now, 0.0)
         flow.done.fail(FlowError(reason, flow))
-        self.reallocate()
+        self._request_flush()
 
     def reallocate(self) -> None:
-        """Recompute all rates (call after any capacity change)."""
-        self._update()
-        self._assign_rates()
-        self._schedule_next_completion()
+        """Recompute all rates now (the explicit, synchronous big hammer).
+
+        Component scoping cannot tell what changed when the caller
+        mutates link capacities directly, so this recomputes everything.
+        Prefer :meth:`link_updated` after changing one link's capacity.
+        """
+        self._dirty_all = True
+        self._flush_now()
+
+    def link_updated(self, link: Link) -> None:
+        """Note that ``link``'s capacity changed; reallocate its component.
+
+        Same-instant updates coalesce into one recompute. A capacity
+        change on a link carrying no flows cannot move any allocation
+        and is skipped outright (idle floor-load ticks are free).
+        """
+        if self.mode == "reference":
+            self.reallocate()
+            return
+        if link._flows:
+            self._dirty_links.add(link)
+            self._request_flush()
 
     def flows_on(self, link: Link) -> Iterable[Flow]:
         """Flows currently crossing ``link``."""
+        self._flush_now()
         return tuple(link._flows)
 
     @property
     def aggregate_rate(self) -> float:
         """Sum of all current flow rates (bytes/s)."""
-        return sum(f.rate for f in self.flows)
+        self._flush_now()
+        return sum(f.rate for f in self._flow_map.values())
 
     def snapshot(self) -> dict:
         """Diagnostic view: per-link utilization and flow placement.
@@ -181,9 +269,9 @@ class FluidNetwork:
         The transfer monitor and debugging sessions use this to see where
         the bottleneck currently sits.
         """
-        self._update()
+        self._flush_now()
         links = {}
-        for flow in self.flows:
+        for flow in self._flow_map.values():
             for link in flow.path:
                 used, cap, n = links.get(link.name,
                                          (0.0, link.capacity, 0))
@@ -191,7 +279,8 @@ class FluidNetwork:
                                     n + 1)
         return {
             "t": self.env.now,
-            "flows": [(f.name, f.rate, f.remaining) for f in self.flows],
+            "flows": [(f.name, f.rate, f.remaining)
+                      for f in self._flow_map.values()],
             "links": links,
         }
 
@@ -202,118 +291,235 @@ class FluidNetwork:
                       in snap["links"].items()
                       if cap > 0 and used >= threshold * cap)
 
-    # -- internals -----------------------------------------------------------
-    def _update(self) -> None:
-        """Advance byte counts to the current time; retire finished flows."""
-        now = self.env.now
-        dt = now - self._last_update
+    # -- dirty tracking and coalescing ----------------------------------
+    def _mark_flow(self, flow: Flow) -> None:
+        if self.mode == "reference":
+            self._dirty_all = True
+            self._flush_now()
+            return
+        self._dirty_flows.add(flow)
+        self._request_flush()
+
+    def _request_flush(self) -> None:
+        """Arm one zero-delay LOW-priority event to recompute at the end
+        of the current instant (after every same-time NORMAL event has
+        made its changes)."""
+        if self.mode == "reference":
+            self._dirty_all = True
+            self._flush_now()
+            return
+        if self._flush_scheduled:
+            return
+        self._flush_scheduled = True
+        ev = Event(self.env)
+        ev.add_callback(self._on_flush_event)
+        ev.succeed(priority=EventPriority.LOW)
+
+    def _on_flush_event(self, _ev: Event) -> None:
+        self._flush_scheduled = False
+        self._flush_now()
+
+    # -- internals -------------------------------------------------------
+    def _advance(self, flow: Flow, now: float) -> None:
+        """Advance one flow's byte count to ``now`` (lazy accounting)."""
+        dt = now - flow._advanced_at
         if dt < 0:
             raise RuntimeError("network clock went backwards")
-        finished: List[Flow] = []
-        if dt > 0:
-            for flow in self.flows:
-                if flow.rate > 0:
-                    flow.remaining -= flow.rate * dt
-                    if flow.remaining <= _EPS_BYTES:
-                        flow.remaining = 0.0
-                        finished.append(flow)
-        self._last_update = now
-        for flow in finished:
-            self._detach(flow)
-            flow.finished_at = now
-            flow.rate = 0.0
-            if flow.recorder is not None:
-                flow.recorder.record(now, 0.0)
-            flow.done.succeed(flow)
+        if dt > 0.0 and flow.rate > 0.0:
+            flow._remaining -= flow.rate * dt
+        flow._advanced_at = now
 
     def _detach(self, flow: Flow) -> None:
-        try:
-            self.flows.remove(flow)
-        except ValueError:
-            pass
+        self._flow_map.pop(flow.id, None)
+        self._dirty_flows.discard(flow)
         for link in flow.path:
             link._flows.discard(flow)
+            if link._flows:
+                self._dirty_links.add(link)
 
-    def _assign_rates(self) -> None:
-        """Progressive-filling max-min fairness with per-flow caps."""
-        self.reallocations += 1
-        now = self.env.now
-        active = [f for f in self.flows]
-        rates: Dict[int, float] = {f.id: 0.0 for f in active}
-        # Residual capacity per involved link.
-        residual: Dict[str, float] = {}
-        link_flows: Dict[str, List[Flow]] = {}
-        for f in active:
+    def _finish(self, flow: Flow, now: float) -> None:
+        """Retire a flow whose last byte has been delivered."""
+        flow._remaining = 0.0
+        self._detach(flow)
+        flow.finished_at = now
+        flow.rate = 0.0
+        flow._pred_version += 1
+        if flow.recorder is not None:
+            flow.recorder.record(now, 0.0)
+        flow.done.succeed(flow)
+
+    def _pop_due_completions(self, now: float) -> None:
+        """Mark flows whose predicted completion instant has arrived as
+        dirty; the flush retires them (in start order, like the original
+        full-scan implementation) and recomputes their components."""
+        heap = self._completion_heap
+        while heap:
+            t, version, _fid, flow, _made_at, _rel = heap[0]
+            if not flow.active or version != flow._pred_version:
+                heapq.heappop(heap)  # stale entry
+                continue
+            if t > now:
+                break
+            heapq.heappop(heap)
+            self._dirty_flows.add(flow)
+
+    def _scope(self, now: float) -> List[Flow]:
+        """Flows whose rates must be recomputed: the connected closure of
+        every dirty flow and every flow on a dirty link, in start order
+        (finish order must be deterministic — waiter processes resume in
+        the order their flows' ``done`` events were triggered)."""
+        if self._dirty_all or self.mode == "reference":
+            return list(self._flow_map.values())
+        scope: Set[Flow] = set()
+        stack = [f for f in self._dirty_flows if f.active]
+        for link in self._dirty_links:
+            stack.extend(link._flows)
+        while stack:
+            f = stack.pop()
+            if f in scope:
+                continue
+            scope.add(f)
             for link in f.path:
-                if link.name not in residual:
-                    residual[link.name] = link.capacity
-                    link_flows[link.name] = []
-                link_flows[link.name].append(f)
-        unfrozen = set()
-        for f in active:
+                for g in link._flows:
+                    if g not in scope:
+                        stack.append(g)
+        return sorted(scope, key=lambda f: f.id)
+
+    def _flush_now(self) -> None:
+        """Apply due completions and recompute every dirty component."""
+        now = self.env.now
+        self._pop_due_completions(now)
+        if self._dirty_all or self._dirty_flows or self._dirty_links:
+            scope = self._scope(now)
+            # Settle byte counts at the old rates before assigning new
+            # ones; flows that crossed their last byte retire here (and
+            # shrink the scope). Retirement marks links dirty again, but
+            # only with flows already in the closure — so the dirty sets
+            # are cleared after this loop, not before.
+            live: List[Flow] = []
+            for f in scope:
+                self._advance(f, now)
+                if f._remaining <= _EPS_BYTES:
+                    self._finish(f, now)
+                else:
+                    live.append(f)
+            self._dirty_all = False
+            self._dirty_flows.clear()
+            self._dirty_links.clear()
+            self.flushes += 1
+            self.flows_recomputed += len(live)
+            if live:
+                self._fill(live, now)
+        self._reschedule_timer(now)
+
+    def _fill(self, flows: List[Flow], now: float) -> None:
+        """Progressive-filling max-min fairness with per-flow caps.
+
+        ``flows`` must be closed under link sharing (a union of whole
+        components); links outside it carry none of its traffic, so each
+        involved link's full capacity belongs to this subproblem.
+        """
+        self.reallocations += 1
+        rates: Dict[Flow, float] = dict.fromkeys(flows, 0.0)
+        residual: Dict[Link, float] = {}
+        link_unfrozen: Dict[Link, Set[Flow]] = {}
+        for f in flows:
+            for link in f.path:
+                if link not in residual:
+                    residual[link] = link.capacity
+                    link_unfrozen[link] = set()
+        unfrozen: Set[Flow] = set()
+        for f in flows:
             # A flow through a dead link, or with a zero cap, stays at 0.
             if f.cap <= _EPS_RATE or any(
-                    residual[l.name] <= _EPS_RATE for l in f.path):
+                    residual[l] <= _EPS_RATE for l in f.path):
                 continue
-            unfrozen.add(f.id)
-        active_count: Dict[str, int] = {
-            name: sum(1 for f in fl if f.id in unfrozen)
-            for name, fl in link_flows.items()}
+            unfrozen.add(f)
+            for link in f.path:
+                link_unfrozen[link].add(f)
         guard = 0
         while unfrozen:
             guard += 1
-            if guard > 10 * len(active) + 10:  # pragma: no cover
+            if guard > 10 * len(flows) + 10:  # pragma: no cover
                 raise RuntimeError("progressive filling failed to converge")
             # Largest uniform increment every unfrozen flow can take.
             delta = math.inf
-            for name, cnt in active_count.items():
-                if cnt > 0:
-                    delta = min(delta, residual[name] / cnt)
-            for f in active:
-                if f.id in unfrozen:
-                    delta = min(delta, f.cap - rates[f.id])
+            for link, users in link_unfrozen.items():
+                if users:
+                    delta = min(delta, residual[link] / len(users))
+            for f in unfrozen:
+                delta = min(delta, f.cap - rates[f])
             if not math.isfinite(delta):
                 break  # only cap-unbounded flows on unconstrained links
             delta = max(delta, 0.0)
-            for f in active:
-                if f.id in unfrozen:
-                    rates[f.id] += delta
-            for name, cnt in active_count.items():
-                residual[name] -= delta * cnt
+            for f in unfrozen:
+                rates[f] += delta
+            for link, users in link_unfrozen.items():
+                if users:
+                    residual[link] -= delta * len(users)
             # Freeze flows at their cap or on a saturated link.
-            newly_frozen = []
-            for f in active:
-                if f.id not in unfrozen:
-                    continue
-                if rates[f.id] >= f.cap - _EPS_RATE or any(
-                        residual[l.name] <= _EPS_RATE for l in f.path):
-                    newly_frozen.append(f)
+            newly_frozen: Set[Flow] = set()
+            for link, users in link_unfrozen.items():
+                if users and residual[link] <= _EPS_RATE:
+                    newly_frozen |= users
+            for f in unfrozen:
+                if rates[f] >= f.cap - _EPS_RATE:
+                    newly_frozen.add(f)
             if not newly_frozen and delta <= _EPS_RATE:
                 # No progress possible (degenerate); freeze everything.
-                newly_frozen = [f for f in active if f.id in unfrozen]
+                newly_frozen = set(unfrozen)
             for f in newly_frozen:
-                unfrozen.discard(f.id)
+                unfrozen.discard(f)
                 for link in f.path:
-                    active_count[link.name] -= 1
-        for f in active:
-            f.rate = rates[f.id]
+                    link_unfrozen[link].discard(f)
+        heap = self._completion_heap
+        for f in flows:
+            f.rate = rates[f]
+            f._pred_version += 1
             if f.recorder is not None:
                 f.recorder.record(now, f.rate)
-
-    def _schedule_next_completion(self) -> None:
-        self._timer_version += 1
-        version = self._timer_version
-        t_next = math.inf
-        for f in self.flows:
             if f.rate > _EPS_RATE:
-                t_next = min(t_next, f.remaining / f.rate)
-        if not math.isfinite(t_next):
+                # Keep the relative delay alongside the absolute instant:
+                # scheduling ``now + rel`` directly (when the prediction
+                # is fresh) reproduces the original timer arithmetic
+                # bit-for-bit instead of round-tripping through ``t - now``.
+                rel = f._remaining / f.rate
+                heapq.heappush(heap, (now + rel, f._pred_version, f.id,
+                                      f, now, rel))
+
+    def _reschedule_timer(self, now: float) -> None:
+        """Keep exactly one simulator timer pending, at the earliest valid
+        predicted completion — and leave it alone if that instant is
+        unchanged (event-queue hygiene: cap churn schedules nothing)."""
+        heap = self._completion_heap
+        while heap:
+            t, version, _fid, flow, _made_at, _rel = heap[0]
+            if not flow.active or version != flow._pred_version:
+                heapq.heappop(heap)
+                continue
+            break
+        if not heap:
+            # Nothing will complete; any still-pending timer degenerates
+            # to a no-op flush when it fires.
             return
-        timer = self.env.timeout(max(t_next, 0.0))
+        t_next, _version, _fid, _flow, made_at, rel = heap[0]
+        if self._timer_pending and self._timer_at == t_next:
+            return
+        if self._timer_pending and self._timer_event is not None:
+            self.env.cancel(self._timer_event)  # real cancellation
+        self._timer_version += 1
+        self._timer_at = t_next
+        self._timer_pending = True
+        self.timer_reschedules += 1
+        version = self._timer_version
+        delay = rel if made_at == now else max(t_next - now, 0.0)
+        timer = self.env.timeout(delay)
+        self._timer_event = timer
 
         def _fire(_ev, version=version):
             if version != self._timer_version:
                 return  # superseded by a later reallocation
-            self.reallocate()
+            self._timer_pending = False
+            self._flush_now()
 
         timer.add_callback(_fire)

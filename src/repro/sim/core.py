@@ -66,6 +66,7 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list = []  # (time, priority, seq, event)
         self._seq = 0
+        self._n_cancelled = 0
         self.rng = RandomStreams(seed)
         self._active_process: Optional[Process] = None
 
@@ -113,12 +114,40 @@ class Environment:
         """Schedule ``fn(event)`` to run at the current time."""
         _CallbackEvent(self, fn, event)
 
+    def cancel(self, event: Event) -> None:
+        """Remove a scheduled event; its callbacks will never run.
+
+        Intended for kernel-adjacent bookkeeping timers that nothing
+        waits on (e.g. the fluid allocator's completion timer): the
+        entry is skipped when it reaches the queue head, and the queue
+        is compacted whenever cancelled entries outnumber live ones —
+        superseded timers therefore cannot pile up over long runs.
+        """
+        if event._processed or event._cancelled:
+            return
+        event._cancelled = True
+        self._n_cancelled += 1
+        if (self._n_cancelled > 64
+                and self._n_cancelled * 2 > len(self._queue)):
+            self._queue = [entry for entry in self._queue
+                           if not entry[3]._cancelled]
+            heapq.heapify(self._queue)
+            self._n_cancelled = 0
+
+    def _discard_cancelled_head(self) -> None:
+        queue = self._queue
+        while queue and queue[0][3]._cancelled:
+            heapq.heappop(queue)
+            self._n_cancelled -= 1
+
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if the queue is empty."""
+        self._discard_cancelled_head()
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process exactly one event."""
+        self._discard_cancelled_head()
         if not self._queue:
             raise SimulationError("no more events")
         t, _prio, _seq, event = heapq.heappop(self._queue)
@@ -139,9 +168,11 @@ class Environment:
             return its value.
         """
         if until is None:
-            while self._queue:
+            while True:
+                self._discard_cancelled_head()
+                if not self._queue:
+                    return None
                 self.step()
-            return None
         if isinstance(until, Event):
             target = until
 
@@ -150,7 +181,10 @@ class Environment:
 
             target.add_callback(_stop)
             try:
-                while self._queue:
+                while True:
+                    self._discard_cancelled_head()
+                    if not self._queue:
+                        break
                     self.step()
             except StopSimulation as stop:
                 if target._exc is not None:
@@ -163,7 +197,10 @@ class Environment:
         if horizon < self._now:
             raise SimulationError(
                 f"cannot run until {horizon}: clock already at {self._now}")
-        while self._queue and self._queue[0][0] <= horizon:
+        while True:
+            self._discard_cancelled_head()
+            if not (self._queue and self._queue[0][0] <= horizon):
+                break
             self.step()
         self._now = horizon
         return None

@@ -58,7 +58,7 @@ class Event:
     """
 
     __slots__ = ("env", "callbacks", "_value", "_exc", "_triggered",
-                 "_processed", "_defused")
+                 "_processed", "_defused", "_cancelled")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -68,6 +68,7 @@ class Event:
         self._triggered = False
         self._processed = False
         self._defused = False
+        self._cancelled = False
 
     # -- state ----------------------------------------------------------
     @property
