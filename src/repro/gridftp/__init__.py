@@ -36,7 +36,11 @@ from repro.gridftp.channels import DataChannelCache
 from repro.gridftp.server import GridFtpServer
 from repro.gridftp.client import ClientSession, GridFtpClient, TransferHandle
 from repro.gridftp.striped import StripedServer, StripedTransferResult
-from repro.gridftp.restart import ReliabilityPolicy, RestartLog
+from repro.gridftp.restart import (
+    ReliabilityPolicy,
+    RestartLog,
+    RestartMarkers,
+)
 
 __all__ = [
     "ClientSession",
@@ -48,6 +52,7 @@ __all__ = [
     "GridFtpServer",
     "ReliabilityPolicy",
     "RestartLog",
+    "RestartMarkers",
     "StripedServer",
     "StripedTransferResult",
     "TransferHandle",

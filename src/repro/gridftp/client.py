@@ -19,9 +19,11 @@ from repro.gridftp.protocol import (
     FtpReply,
     GridFtpConfig,
     GridFtpError,
+    SERVICE_UNAVAILABLE,
     TRANSFER_ABORTED,
     TransferStats,
 )
+from repro.gridftp.restart import RestartMarkers
 from repro.gridftp.server import GridFtpServer
 from repro.gsi.auth import AuthenticationError
 from repro.net.fluid import FlowError
@@ -48,6 +50,9 @@ class TransferHandle:
         self._active_flows: List = []
         self.aborted = False
         self.abort_reason = ""
+        # Fires on abort() so waiters that hold no flow yet (e.g. a
+        # worker queued in the transfer scheduler) can wake promptly.
+        self.abort_event: Event = Event(env)
         # sim time the first data flow started moving bytes (TTFB anchor)
         self.first_byte_at: Optional[float] = None
 
@@ -65,6 +70,8 @@ class TransferHandle:
         """Cancel the transfer; the waiter sees a GridFtpError."""
         self.aborted = True
         self.abort_reason = reason
+        if not self.abort_event.triggered:
+            self.abort_event.succeed(reason)
         for f in list(self._active_flows):
             if f.active:
                 f.abort(reason)
@@ -81,6 +88,7 @@ class ClientSession:
         self.subjects = subjects
         self.env = client.env
         self.commands_sent = 0
+        self._closed = False
 
     # -- simple commands ---------------------------------------------------
     def _command(self, server_time: float = 0.0):
@@ -103,8 +111,12 @@ class ClientSession:
         return self.server.exists(path)
 
     def close(self) -> None:
-        """Tear down the control connection."""
+        """Tear down the control connection and free the server slot."""
+        if self._closed:
+            return
+        self._closed = True
         self.control.close()
+        self.server.release_connection()
 
     # -- data transfer ----------------------------------------------------------
     def get(self, path: str, dest_fs: FileSystem, dest_host,
@@ -169,14 +181,22 @@ class ClientSession:
             obs.observe("gridftp.ttfb_seconds",
                         handle.first_byte_at - stats.started_at, op=op)
 
-    def _channel_worker(self, conn: Connection, queue: List[float],
-                        failed: List[float],
+    def _channel_worker(self, conn: Connection,
+                        queue: List[Tuple[float, float]],
+                        failed: List[Tuple[float, float]],
                         series_out: Optional[list],
-                        handle: TransferHandle, path: str):
-        """One data channel pulling blocks until the queue drains."""
+                        handle: TransferHandle, path: str,
+                        markers: RestartMarkers):
+        """One data channel pulling blocks until the queue drains.
+
+        ``queue`` holds ``(offset, length)`` blocks; every byte range
+        fully delivered is recorded in ``markers`` (GridFTP restart
+        markers), and a failed block's undelivered tail goes back to
+        ``failed`` for the next restart round.
+        """
         moved = 0.0
         while queue:
-            block = queue.pop()
+            offset, block = queue.pop()
             rec = (RateRecorder(f"gridftp:{path}")
                    if series_out is not None else None)
             try:
@@ -198,17 +218,20 @@ class ClientSession:
                 conn.transfers += 1
                 handle._active_flows.remove(flow)
                 handle._completed += block
+                markers.add(offset, offset + block)
                 if rec is not None and not rec.is_empty:
                     series_out.append(rec.close(self.env.now))
             except FlowError as exc:
                 delivered = exc.flow.transferred if exc.flow else 0.0
                 moved += delivered
                 handle._completed += delivered
+                if delivered > 0:
+                    markers.add(offset, offset + delivered)
                 if exc.flow in handle._active_flows:
                     handle._active_flows.remove(exc.flow)
                 if rec is not None and not rec.is_empty:
                     series_out.append(rec.close(self.env.now))
-                failed.append(block - delivered)
+                failed.append((offset + delivered, block - delivered))
                 conn.close()
                 return moved
         return moved
@@ -278,6 +301,8 @@ class ClientSession:
         env = self.env
         buffer_bytes = self.client.negotiate_buffer(src, dst, cfg)
         blocks = _make_blocks(nbytes, cfg.parallelism)
+        markers = RestartMarkers()
+        stats.restart_markers = markers
         completed = 0.0
         attempts = 0
         while blocks:
@@ -311,10 +336,10 @@ class ClientSession:
             stats.channel_reused = stats.channel_reused or any(
                 c.transfers > 0 for c in channels)
             queue = list(blocks)
-            failed: List[float] = []
+            failed: List[Tuple[float, float]] = []
             workers = [env.process(self._channel_worker(
                 conn, queue, failed, stats.series if record else None,
-                handle, path))
+                handle, path, markers))
                 for conn in channels]
             results = yield env.all_of(workers)
             moved = sum(results.values())
@@ -394,12 +419,21 @@ class GridFtpClient:
             raise GridFtpError(FtpReply(
                 CANT_OPEN_DATA, f"server {hostname} refused connection "
                 "(down)"))
+        if not server.try_accept():
+            # At its connection limit the daemon rejects outright (421)
+            # instead of queueing silently — visible backpressure.
+            self._count_connect(hostname, "busy")
+            raise GridFtpError(FtpReply(
+                SERVICE_UNAVAILABLE,
+                f"server {hostname} refused connection (busy: "
+                f"{server.max_connections} sessions)"))
         cfg = config or self.config
         try:
             control = yield from self.transport.connect(
                 client_host.node, hostname,
                 TcpParams(stall_timeout=cfg.stall_timeout))
         except ConnectionRefused as exc:
+            server.release_connection()
             self._count_connect(hostname, "refused")
             raise GridFtpError(FtpReply(CANT_OPEN_DATA, str(exc))) from exc
         rtt = self.transport.network.topology.rtt(
@@ -409,6 +443,7 @@ class GridFtpClient:
                 self.credential_chain, rtt)
         except AuthenticationError as exc:
             control.close()
+            server.release_connection()
             self._count_connect(hostname, "auth")
             raise GridFtpError(FtpReply(530, str(exc))) from exc
         self._count_connect(hostname, "ok")
@@ -490,11 +525,13 @@ class GridFtpClient:
         return stats
 
 
-def _make_blocks(nbytes: float, parallelism: int) -> List[float]:
-    """Cut a transfer into a work queue of blocks.
+def _make_blocks(nbytes: float, parallelism: int
+                 ) -> List[Tuple[float, float]]:
+    """Cut a transfer into a work queue of ``(offset, length)`` blocks.
 
     More blocks than channels (×4) so channels that finish early keep
-    pulling work — a fluid-scale stand-in for extended-block mode.
+    pulling work — a fluid-scale stand-in for extended-block mode. The
+    offsets let the pump keep GridFTP restart markers per byte range.
     """
     if nbytes <= 0:
         return []
@@ -502,7 +539,8 @@ def _make_blocks(nbytes: float, parallelism: int) -> List[float]:
     if nbytes / n_blocks < _MIN_BLOCK:
         n_blocks = max(1, int(nbytes // _MIN_BLOCK))
     block = nbytes / n_blocks
-    blocks = [block] * n_blocks
+    blocks = [(i * block, block) for i in range(n_blocks)]
     # Fix rounding drift on the last block.
-    blocks[-1] = nbytes - block * (n_blocks - 1)
+    last_off = (n_blocks - 1) * block
+    blocks[-1] = (last_off, nbytes - last_off)
     return blocks

@@ -46,6 +46,7 @@ FEATURES = 211
 FILE_STATUS = 213
 CLOSING_DATA = 226
 AUTH_OK = 234
+SERVICE_UNAVAILABLE = 421
 CANT_OPEN_DATA = 425
 TRANSFER_ABORTED = 426
 ACTION_NOT_TAKEN = 450
@@ -144,6 +145,9 @@ class TransferStats:
     replica_switches: int = 0
     channel_reused: bool = False
     faults: list = field(default_factory=list)
+    # RestartMarkers recorded by the block pump (byte ranges delivered);
+    # None for transfers that never entered the pump.
+    restart_markers: Optional[object] = None
     # Closed per-flow RateSeries (one per block actually moved); aggregate
     # with repro.net.aggregate_series for the wire-bandwidth timeline.
     series: list = field(default_factory=list)

@@ -46,13 +46,22 @@ class GridFtpServer:
         Optional hierarchical resource manager for tape-backed files.
     hostname:
         DNS name clients connect to (defaults to the host's node name).
+    max_connections:
+        Concurrent control sessions the daemon accepts; further
+        connects are *rejected* with a 421 reply rather than silently
+        queued, so client-side admission control (the transfer
+        scheduler) is observable against a hard server limit. ``None``
+        (the default) accepts everything.
     """
 
     def __init__(self, env: Environment, host: Host, filesystem: FileSystem,
                  gsi: Optional[GsiContext] = None,
                  credential_chain: tuple = (),
                  hrm: Optional[HierarchicalResourceManager] = None,
-                 hostname: Optional[str] = None, obs=None):
+                 hostname: Optional[str] = None, obs=None,
+                 max_connections: Optional[int] = None):
+        if max_connections is not None and max_connections < 1:
+            raise ValueError("max_connections must be >= 1 when set")
         self.env = env
         self.host = host
         self.fs = filesystem
@@ -61,6 +70,9 @@ class GridFtpServer:
         self.hrm = hrm
         self.obs = obs          # optional repro.obs.Observability bundle
         self.hostname = hostname or host.node
+        self.max_connections = max_connections
+        self.active_connections = 0
+        self.rejected_connections = 0
         self._plugins: Dict[str, EretPlugin] = {}
         self.bytes_served = 0.0
         self.transfers_served = 0
@@ -68,6 +80,24 @@ class GridFtpServer:
         self.up = True
         self.crashes = 0
         self._active_handles: set = set()
+
+    # -- connection limiting ----------------------------------------------
+    def try_accept(self) -> bool:
+        """Reserve a control-session slot; False = at the limit (421)."""
+        if (self.max_connections is not None
+                and self.active_connections >= self.max_connections):
+            self.rejected_connections += 1
+            if self.obs is not None:
+                self.obs.count("gridftp.server_rejects_total",
+                               host=self.hostname)
+            return False
+        self.active_connections += 1
+        return True
+
+    def release_connection(self) -> None:
+        """Give back a control-session slot (idempotent at zero)."""
+        if self.active_connections > 0:
+            self.active_connections -= 1
 
     # -- fault injection ---------------------------------------------------
     def register_handle(self, handle) -> None:
@@ -84,6 +114,7 @@ class GridFtpServer:
             return
         self.up = False
         self.crashes += 1
+        self.active_connections = 0
         aborted = len(self._active_handles)
         for handle in list(self._active_handles):
             handle.abort(f"server {self.hostname} crashed")

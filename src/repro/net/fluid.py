@@ -41,7 +41,6 @@ caps managed by :class:`repro.net.tcp.TcpStream`.
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 from typing import Dict, Iterable, List, Optional, Set
 
@@ -70,15 +69,13 @@ class Flow:
     :class:`FlowError` when aborted.
     """
 
-    _ids = itertools.count(1)
-
     __slots__ = ("id", "name", "path", "size", "cap", "rate",
                  "done", "recorder", "started_at", "finished_at",
                  "_network", "_remaining", "_advanced_at", "_pred_version")
 
     def __init__(self, network: "FluidNetwork", name: str, path: List[Link],
                  size: float, cap: float, recorder: Optional[RateRecorder]):
-        self.id = next(Flow._ids)
+        self.id = network.env.next_id("flow")
         self.name = name or f"flow-{self.id}"
         self.path = path
         self.size = float(size)

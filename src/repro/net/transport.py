@@ -13,7 +13,6 @@ GridFTP's restartable transfers build on.
 
 from __future__ import annotations
 
-import itertools
 import math
 from typing import Optional
 
@@ -31,11 +30,9 @@ class ConnectionRefused(Exception):
 class Connection:
     """An established transport connection between two topology nodes."""
 
-    _ids = itertools.count(1)
-
     def __init__(self, transport: "Transport", src: str, dst: str,
                  params: TcpParams, stream: TcpStream):
-        self.id = next(Connection._ids)
+        self.id = transport.env.next_id("connection")
         self.transport = transport
         self.src = src
         self.dst = dst

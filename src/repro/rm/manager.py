@@ -21,6 +21,7 @@ paper's four steps (lookup → forecast → rank → transfer):
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Optional, Tuple
 
 from repro.gridftp.client import GridFtpClient, TransferHandle
@@ -39,6 +40,7 @@ from repro.replica.selection import (
 )
 from repro.rm.request import FileRequest, FileState, RequestTicket
 from repro.rm.resilience import FailureClass, ResiliencePolicy
+from repro.rm.scheduler import QueueFull, TransferScheduler
 from repro.sim.core import Environment
 from repro.storage.filesystem import FileSystem
 
@@ -84,6 +86,15 @@ class RequestManager:
         ``gridftp.connect`` → ``gridftp.first_byte`` → terminal). When
         ``obs`` carries a logger and ``logger`` is unset, events go to
         the bundle's log.
+    scheduler:
+        Optional shared :class:`~repro.rm.scheduler.TransferScheduler`.
+        When set, every transfer attempt acquires an admission slot
+        (per-server/per-link caps, DRR fairness across tickets) before
+        connecting, uses the grant's budgeted stream count instead of
+        the configured maximum, and releases the slot when the attempt
+        ends. A full queue (:class:`~repro.rm.scheduler.QueueFull`) is
+        treated as a transient candidate failure — visible
+        backpressure, handled by the normal retry rounds.
     """
 
     def __init__(self, env: Environment, catalog: ReplicaCatalog,
@@ -96,7 +107,8 @@ class RequestManager:
                  logger: Optional[NetLogger] = None,
                  config: Optional[GridFtpConfig] = None,
                  resilience: Optional[ResiliencePolicy] = None,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None,
+                 scheduler: Optional[TransferScheduler] = None):
         self.env = env
         self.catalog = catalog
         self.mds = mds
@@ -117,6 +129,7 @@ class RequestManager:
             self.policy.obs = obs
         self.config = config or GridFtpConfig()
         self.resilience = resilience
+        self.scheduler = scheduler
         self.tickets: List[RequestTicket] = []
         self.messages: List[tuple] = []  # (t, text) — Figure 4 bottom pane
         # degraded-mode state: last known forecast per (src, dst) path,
@@ -460,6 +473,36 @@ class RequestManager:
             return FailureClass.STAGING
         return FailureClass.TRANSFER
 
+    def _acquire_slot(self, fr: FileRequest, loc: LocationInfo,
+                      ticket: Optional[RequestTicket],
+                      handle: TransferHandle):
+        """Admission control: wait for a scheduler grant for this attempt.
+
+        Returns ``(grant, error, failure_class)`` — exactly one of
+        ``grant`` / ``error`` is set. ``grant`` is ``None`` with no
+        error only when the scheduler is disabled.
+        """
+        if self.scheduler is None:
+            return None, None, None
+        flow = f"ticket-{ticket.id}" if ticket is not None else "adhoc"
+        # Interactive tickets (few files) outrank bulk replication; the
+        # scheduler's aging keeps the bulk class starvation-bounded.
+        priority = len(ticket.files) if ticket is not None else 1
+        try:
+            grant = yield from self.scheduler.acquire(
+                loc.hostname, flow=flow, size=fr.size,
+                link=getattr(self.dest_host, "site", None),
+                streams=self.config.parallelism, priority=priority,
+                abort=handle.abort_event)
+        except QueueFull as exc:
+            self._say(f"{fr.logical_file}: {exc}")
+            return None, str(exc), FailureClass.CONNECT
+        if grant is None:  # aborted (deadline/cancel) while queued
+            return (None, f"aborted while queued "
+                    f"({handle.abort_reason or 'abort'})",
+                    FailureClass.TRANSFER)
+        return grant, None, None
+
     def _attempt(self, fr: FileRequest, loc: LocationInfo,
                  ticket: Optional[RequestTicket] = None):
         """One replica attempt; returns (ok, error_text, failure_class)."""
@@ -475,88 +518,107 @@ class RequestManager:
             fr.state = FileState.STAGING
             self._say(f"{fr.logical_file}: staging from MSS at "
                       f"{loc.hostname}")
-        started = env.now
         span = None
         if self.obs is not None:
             span = self.obs.span("rm.attempt", parent=fr.span,
                                  trace=(f"ticket-{ticket.id}"
                                         if ticket is not None else None),
                                  file=fr.logical_file, host=loc.hostname)
-        try:
-            session = yield from self.client.connect(
-                self.dest_host, loc.hostname, self.config)
-        except GridFtpError as exc:
+        grant, err, fclass = yield from self._acquire_slot(
+            fr, loc, ticket, handle)
+        if err is not None:
             if span is not None:
-                span.finish(status="error", error="connect")
-            return (False, f"connect failed ({exc.reply.code})",
-                    FailureClass.CONNECT)
-        connected_at = env.now
-        if self.obs is not None:
-            self.obs.event(
-                "gridftp.connect", prog="gridftp", host=loc.hostname,
-                file=fr.logical_file,
-                **({"ticket": ticket.id} if ticket is not None else {}))
-        transfer = env.process(session.get(
-            fr.logical_file, self.dest_fs, self.dest_host,
-            handle=handle, config=self.config, record=True))
-        # (5) monitor progress "every few seconds". A failing transfer
-        # raises at the any_of yield (AnyOf propagates child failures),
-        # so the whole monitoring loop sits inside the try.
-        poll = self.config.progress_poll
-        last_bytes = 0.0
+                span.finish(status="error", error="admission")
+            return False, err, fclass
+        # Admitted: the grant's stream budget replaces the configured
+        # maximum, so the server's parallel-stream budget is split
+        # across admitted transfers instead of multiplied by them.
+        cfg = self.config
+        if grant is not None and grant.streams != cfg.parallelism:
+            cfg = dataclasses.replace(cfg, parallelism=grant.streams)
+        started = env.now  # queue wait is the scheduler's metric, not NWS's
         try:
-            while not transfer.triggered:
-                tick = env.timeout(poll)
-                yield env.any_of([transfer, tick])
-                if transfer.triggered:
-                    break
-                done_now = handle.bytes_done()
-                if done_now > 0 and fr.state is not FileState.TRANSFERRING:
-                    fr.state = FileState.TRANSFERRING
-                fr.bytes_done = done_now
-                fr.size = max(fr.size, handle.total)
-                rate = (done_now - last_bytes) / poll
-                last_bytes = done_now
-                if policy is not None and policy.observe(
-                        env.now - started, rate):
-                    handle.abort(
-                        "reliability plug-in: rate below threshold")
-            stats = transfer.value
-        except GridFtpError as exc:
-            fr.bytes_done = handle.bytes_done()
+            try:
+                session = yield from self.client.connect(
+                    self.dest_host, loc.hostname, cfg)
+            except GridFtpError as exc:
+                if span is not None:
+                    span.finish(status="error", error="connect")
+                return (False, f"connect failed ({exc.reply.code})",
+                        FailureClass.CONNECT)
+            connected_at = env.now
+            if self.obs is not None:
+                self.obs.event(
+                    "gridftp.connect", prog="gridftp", host=loc.hostname,
+                    file=fr.logical_file,
+                    **({"ticket": ticket.id} if ticket is not None else {}))
+            transfer = env.process(session.get(
+                fr.logical_file, self.dest_fs, self.dest_host,
+                handle=handle, config=cfg, record=True))
+            # (5) monitor progress "every few seconds". A failing transfer
+            # raises at the any_of yield (AnyOf propagates child failures),
+            # so the whole monitoring loop sits inside the try.
+            poll = cfg.progress_poll
+            last_bytes = 0.0
+            try:
+                while not transfer.triggered:
+                    tick = env.timeout(poll)
+                    yield env.any_of([transfer, tick])
+                    if transfer.triggered:
+                        break
+                    done_now = handle.bytes_done()
+                    if done_now > 0 \
+                            and fr.state is not FileState.TRANSFERRING:
+                        fr.state = FileState.TRANSFERRING
+                    fr.bytes_done = done_now
+                    fr.size = max(fr.size, handle.total)
+                    rate = (done_now - last_bytes) / poll
+                    last_bytes = done_now
+                    if policy is not None and policy.observe(
+                            env.now - started, rate):
+                        handle.abort(
+                            "reliability plug-in: rate below threshold")
+                stats = transfer.value
+            except GridFtpError as exc:
+                fr.bytes_done = handle.bytes_done()
+                session.close()
+                if span is not None:
+                    span.finish(status="error", error=str(exc.reply))
+                return False, str(exc.reply), self._classify(exc)
+            fr.bytes_done = stats.transferred_bytes
+            fr.size = stats.transferred_bytes
+            fr.restarts += stats.restarts
+            elapsed = max(env.now - started, 1e-9)
+            if self.nws is not None and stats.transferred_bytes > 0:
+                self.nws.observe(server.host.node, self.dest_host.node,
+                                 stats.transferred_bytes / elapsed,
+                                 self.client.transport.network.topology.rtt(
+                                     server.host.node,
+                                     self.dest_host.node) / 2)
+            if self.logger is not None:
+                extra = ({"ticket": str(ticket.id)}
+                         if ticket is not None else {})
+                self.logger.event("rm.transfer.done",
+                                  prog="request-manager",
+                                  file=fr.logical_file, host=loc.hostname,
+                                  bytes=f"{stats.transferred_bytes:.0f}",
+                                  seconds=f"{elapsed:.3f}", **extra)
+            if self.obs is not None:
+                self.obs.count("rm.transfers_total", host=loc.hostname)
+                self.obs.count("rm.transfer_bytes_total",
+                               stats.transferred_bytes, host=loc.hostname)
+                self.obs.observe("rm.transfer_seconds", elapsed)
+                if handle.first_byte_at is not None:
+                    self.obs.observe("rm.ttfb_seconds",
+                                     handle.first_byte_at - connected_at)
+            if span is not None:
+                span.finish(status="ok", bytes=stats.transferred_bytes)
             session.close()
-            if span is not None:
-                span.finish(status="error", error=str(exc.reply))
-            return False, str(exc.reply), self._classify(exc)
-        fr.bytes_done = stats.transferred_bytes
-        fr.size = stats.transferred_bytes
-        fr.restarts += stats.restarts
-        elapsed = max(env.now - started, 1e-9)
-        if self.nws is not None and stats.transferred_bytes > 0:
-            self.nws.observe(server.host.node, self.dest_host.node,
-                             stats.transferred_bytes / elapsed,
-                             self.client.transport.network.topology.rtt(
-                                 server.host.node,
-                                 self.dest_host.node) / 2)
-        if self.logger is not None:
-            extra = ({"ticket": str(ticket.id)}
-                     if ticket is not None else {})
-            self.logger.event("rm.transfer.done", prog="request-manager",
-                              file=fr.logical_file, host=loc.hostname,
-                              bytes=f"{stats.transferred_bytes:.0f}",
-                              seconds=f"{elapsed:.3f}", **extra)
-        if self.obs is not None:
-            self.obs.count("rm.transfers_total", host=loc.hostname)
-            self.obs.count("rm.transfer_bytes_total",
-                           stats.transferred_bytes, host=loc.hostname)
-            self.obs.observe("rm.transfer_seconds", elapsed)
-            if handle.first_byte_at is not None:
-                self.obs.observe("rm.ttfb_seconds",
-                                 handle.first_byte_at - connected_at)
-        if span is not None:
-            span.finish(status="ok", bytes=stats.transferred_bytes)
-        session.close()
-        return True, "", None
+            return True, "", None
+        finally:
+            if grant is not None:
+                self.scheduler.release(grant,
+                                       bytes_done=handle.bytes_done())
 
     def _cancel(self, ticket: RequestTicket, fr: FileRequest) -> None:
         if fr.state in _TERMINAL:

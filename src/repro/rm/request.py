@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -63,11 +62,9 @@ class FileRequest:
 class RequestTicket:
     """Handle for a submitted multi-file request."""
 
-    _ids = itertools.count(1)
-
     def __init__(self, env: Environment, files: List[FileRequest],
                  deadline_at: Optional[float] = None):
-        self.id = next(RequestTicket._ids)
+        self.id = env.next_id("ticket")
         self.env = env
         self.files = files
         self.done: Event = Event(env)

@@ -15,6 +15,7 @@
   timeline.
 """
 
+from repro.scenarios.contention import ContentionResult, run_contention
 from repro.scenarios.esg import EsgSite, EsgTestbed
 from repro.scenarios.scinet import (
     ScinetTestbed,
@@ -29,8 +30,10 @@ from repro.scenarios.commodity import (
 
 __all__ = [
     "CommodityTestbed",
+    "ContentionResult",
     "EsgSite",
     "EsgTestbed",
+    "run_contention",
     "Figure8Result",
     "ScinetTestbed",
     "Table1Result",

@@ -43,6 +43,7 @@ from repro.replica.catalog import ReplicaCatalog
 from repro.replica.manager import ReplicaManager
 from repro.rm.manager import RequestManager
 from repro.rm.resilience import ResiliencePolicy
+from repro.rm.scheduler import SchedulerConfig, TransferScheduler
 from repro.sim.core import Environment
 from repro.storage.filesystem import FileSystem
 from repro.storage.hpss import MassStorageSystem
@@ -108,6 +109,16 @@ class EsgTestbed:
     log_capacity:
         When set, bound the shared NetLogger to a ring buffer of this
         many records (long runs); default keeps everything.
+    scheduler:
+        A :class:`~repro.rm.scheduler.SchedulerConfig`; when set, one
+        shared :class:`~repro.rm.scheduler.TransferScheduler` is built
+        and handed to every request manager (the main client's and
+        every :meth:`add_client` RM), so admission control and fair
+        queueing span all tenants.
+    max_server_connections:
+        When set, every GridFTP server rejects connects beyond this
+        many concurrent sessions with a 421 reply (visible
+        backpressure for unscheduled stampedes).
     """
 
     def __init__(self, seed: int = 0, years: int = 1,
@@ -119,7 +130,9 @@ class EsgTestbed:
                  reliability: Optional[ReliabilityPolicy] = None,
                  config: Optional[GridFtpConfig] = None,
                  resilience: Optional["ResiliencePolicy"] = None,
-                 log_capacity: Optional[int] = None):
+                 log_capacity: Optional[int] = None,
+                 scheduler: Optional["SchedulerConfig"] = None,
+                 max_server_connections: Optional[int] = None):
         self.env = Environment(seed=seed)
         env = self.env
         self.grid = grid or GridSpec(nlat=32, nlon=64, months=12)
@@ -168,7 +181,8 @@ class EsgTestbed:
             server = GridFtpServer(env, host, fs, gsi=self.gsi,
                                    credential_chain=server_id.chain,
                                    hrm=hrm, hostname=hostname,
-                                   obs=self.obs)
+                                   obs=self.obs,
+                                   max_connections=max_server_connections)
             install_standard_plugins(server)
             self.registry[hostname] = server
             self.sites[name] = EsgSite(name, hostname, host, server, fs,
@@ -214,12 +228,16 @@ class EsgTestbed:
             config=config or GridFtpConfig(parallelism=4), obs=self.obs)
         self.replica_manager = ReplicaManager(env, self.replica_catalog,
                                               self.gridftp)
+        # Shared across every tenant RM so admission control is global.
+        self.scheduler = (TransferScheduler(env, scheduler, obs=self.obs)
+                          if scheduler is not None else None)
         self.request_manager = RequestManager(
             env, self.replica_catalog, self.mds, self.gridftp,
             self.registry, self.client_host, self.client_fs,
             reliability=reliability, nws=self.nws, logger=self.logger,
             config=config or GridFtpConfig(parallelism=4),
-            resilience=resilience, obs=self.obs)
+            resilience=resilience, obs=self.obs,
+            scheduler=self.scheduler)
 
         # -- the user's analysis tool
         from repro.cdat.client import CdatClient
@@ -315,14 +333,16 @@ class EsgTestbed:
 
     # -- additional user sites ----------------------------------------------------
     def add_client(self, name: str, downlink: float = mbps(100),
-                   latency: float = 0.010):
+                   latency: float = 0.010,
+                   resilience: Optional["ResiliencePolicy"] = None):
         """Attach another user desktop with its own request manager.
 
         The abstract's scaling concern — "access to, and analysis of,
         these datasets by potentially thousands of users" — is exercised
-        by attaching many clients: they share the catalogs, MDS, and the
-        servers, but each has its own host, filesystem, GridFTP client,
-        and RM. Returns the new :class:`RequestManager`.
+        by attaching many clients: they share the catalogs, MDS, the
+        servers, and (when configured) the transfer scheduler, but each
+        has its own host, filesystem, GridFTP client, and RM. Returns
+        the new :class:`RequestManager`.
         """
         from repro.gridftp.client import GridFtpClient
         from repro.rm.manager import RequestManager
@@ -342,7 +362,8 @@ class EsgTestbed:
         rm = RequestManager(
             self.env, self.replica_catalog, self.mds, client,
             self.registry, host, fs, nws=self.nws, logger=self.logger,
-            config=self.gridftp.config, obs=self.obs)
+            config=self.gridftp.config, obs=self.obs,
+            resilience=resilience, scheduler=self.scheduler)
         return rm
 
     # -- ESG-II: DODS-protocol access to the same archive -----------------------

@@ -69,6 +69,19 @@ class Environment:
         self._n_cancelled = 0
         self.rng = RandomStreams(seed)
         self._active_process: Optional[Process] = None
+        self._id_counters: dict = {}
+
+    def next_id(self, kind: str) -> int:
+        """Monotonic 1-based id for ``kind``, scoped to this environment.
+
+        Replaces process-global ``itertools.count`` class counters:
+        ids that end up in logs must be a function of the run, not of
+        how many environments the process created before this one —
+        otherwise same-seed replays diverge.
+        """
+        value = self._id_counters.get(kind, 0) + 1
+        self._id_counters[kind] = value
+        return value
 
     # -- clock ------------------------------------------------------------
     @property

@@ -46,8 +46,14 @@ def test_make_blocks_sums_exactly():
     for nbytes in (1.0, 100.0, 10 * MB, 2**31 + 17.0):
         for parallelism in (1, 3, 8):
             blocks = _make_blocks(nbytes, parallelism)
-            assert sum(blocks) == pytest.approx(nbytes)
-            assert all(b > 0 for b in blocks)
+            assert sum(length for _, length in blocks) \
+                == pytest.approx(nbytes)
+            assert all(length > 0 for _, length in blocks)
+            # Offsets tile [0, nbytes) contiguously, in order.
+            cursor = 0.0
+            for offset, length in blocks:
+                assert offset == pytest.approx(cursor)
+                cursor += length
 
 
 def test_make_blocks_min_size_respected():
@@ -118,6 +124,53 @@ def test_channel_cache_ttl_and_drain():
     cache.release(c2)
     assert cache.drain() == 2
     assert not c1.open and not c2.open
+
+
+def test_channel_cache_idle_ttl_boundary():
+    """TTL is strict: alive at exactly idle_ttl, expired just past it,
+    and a stale channel is closed at acquire time — never handed out."""
+    env = Environment()
+    cache = DataChannelCache(env, idle_ttl=10.0)
+    keeper = FakeConn()
+    cache.release(keeper)
+
+    def clock(env):
+        yield env.timeout(10.0)   # exactly the TTL: still reusable
+
+    env.process(clock(env))
+    env.run()
+    assert cache.acquire("a", "b") is keeper and keeper.open
+    cache.release(keeper)
+
+    def clock2(env):
+        yield env.timeout(10.0 + 1e-6)  # just past: expired
+
+    env.process(clock2(env))
+    env.run()
+    assert cache.acquire("a", "b") is None
+    assert not keeper.open            # torn down, not leaked
+    assert cache.expirations == 1
+    assert cache.reuses == 1          # the expiry did not count as reuse
+
+
+def test_channel_cache_drain_reports_stale_channels():
+    """A channel idling past its TTL still counts in drain(): expiry is
+    lazy (checked at acquire), so teardown must sweep it too."""
+    env = Environment()
+    cache = DataChannelCache(env, idle_ttl=5.0)
+    stale, fresh = FakeConn(), FakeConn("x", "y")
+    cache.release(stale)
+
+    def clock(env):
+        yield env.timeout(60.0)
+
+    env.process(clock(env))
+    env.run()
+    cache.release(fresh)
+    assert cache.drain() == 2
+    assert not stale.open and not fresh.open
+    assert cache.idle_count("a", "b") == 0
+    assert cache.idle_count("x", "y") == 0
 
 
 # -- buffer negotiation ------------------------------------------------------------

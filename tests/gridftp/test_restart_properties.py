@@ -1,0 +1,167 @@
+"""Property-based verification of GridFTP restart-marker machinery.
+
+The extended-mode Range Marker ("111 Range Marker 0-29,40-89") is the
+only record a restarting client has of what already landed, so the
+bookkeeping must be exact: canonical form after arbitrary insertions,
+lossless wire round-trips, and a ``missing()`` complement that tiles
+the file with no gaps or overlaps.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gridftp import RestartMarkers
+
+# Two flavours of ranges: an integer grid (adjacency and exact overlap
+# are common, exercising the coalescing paths) and arbitrary floats.
+grid_range = st.tuples(st.integers(0, 30), st.integers(1, 10)).map(
+    lambda t: (float(t[0]), float(t[0] + t[1])))
+float_range = st.tuples(
+    st.floats(0.0, 1e9, allow_nan=False, allow_infinity=False),
+    st.floats(1e-6, 1e9, allow_nan=False, allow_infinity=False),
+).map(lambda t: (t[0], t[0] + t[1]))
+ranges_strategy = st.lists(st.one_of(grid_range, float_range),
+                           min_size=0, max_size=20)
+
+
+def union_measure(ranges):
+    """Measure of the union, computed independently of the class."""
+    total = 0.0
+    cursor = -1.0
+    for lo, hi in sorted(ranges):
+        lo = max(lo, cursor)
+        if hi > lo:
+            total += hi - lo
+            cursor = hi
+        cursor = max(cursor, hi)
+    return total
+
+
+@given(ranges_strategy)
+@settings(max_examples=200, deadline=None)
+def test_property_canonical_invariant(ranges):
+    """After any insertion sequence: sorted, non-empty, disjoint, and
+    never merely adjacent (touching ranges must have coalesced)."""
+    m = RestartMarkers()
+    for lo, hi in ranges:
+        m.add(lo, hi)
+    out = m.ranges
+    for lo, hi in out:
+        assert hi > lo
+    for (_, b), (a2, _) in zip(out, out[1:]):
+        assert a2 > b  # strictly separated: no overlap, no touching
+
+
+@given(ranges_strategy)
+@settings(max_examples=200, deadline=None)
+def test_property_serialize_round_trip(ranges):
+    """parse(serialize(m)) reproduces m exactly — the wire format is
+    lossless for any float ranges, including scientific notation."""
+    m = RestartMarkers(ranges)
+    assert RestartMarkers.parse(m.serialize()) == m
+
+
+@given(ranges_strategy)
+@settings(max_examples=200, deadline=None)
+def test_property_insertion_order_irrelevant(ranges):
+    """Markers are a set: reversed insertion builds the same canon."""
+    forward = RestartMarkers(ranges)
+    backward = RestartMarkers(reversed(ranges))
+    assert forward == backward
+
+
+@given(ranges_strategy, ranges_strategy)
+@settings(max_examples=200, deadline=None)
+def test_property_merge_commutes(ranges_a, ranges_b):
+    """Stripes reporting separately merge to one canon, either way."""
+    a, b = RestartMarkers(ranges_a), RestartMarkers(ranges_b)
+    assert a.merge(b) == b.merge(a)
+    assert a.merge(b) == RestartMarkers(list(ranges_a) + list(ranges_b))
+
+
+@given(ranges_strategy)
+@settings(max_examples=200, deadline=None)
+def test_property_bytes_done_is_union_measure(ranges):
+    """bytes_done equals the measure of the union of inserted ranges
+    (coalescing must not create or destroy bytes)."""
+    m = RestartMarkers(ranges)
+    assert m.bytes_done == pytest.approx(union_measure(ranges),
+                                         rel=1e-9, abs=1e-9)
+
+
+@given(ranges_strategy, st.floats(1.0, 2e9))
+@settings(max_examples=200, deadline=None)
+def test_property_missing_complements_exactly(ranges, total):
+    """missing(total) tiles [0, total) together with the clipped
+    markers: disjoint, ordered, measures summing to total."""
+    m = RestartMarkers(ranges)
+    gaps = m.missing(total)
+    for lo, hi in gaps:
+        assert 0.0 <= lo < hi <= total
+    clipped = [(max(0.0, lo), min(hi, total)) for lo, hi in m.ranges
+               if lo < total]
+    pieces = sorted(gaps + [r for r in clipped if r[1] > r[0]])
+    cursor = 0.0
+    for lo, hi in pieces:
+        assert lo == pytest.approx(cursor, rel=1e-9, abs=1e-9)
+        cursor = hi
+    assert cursor == pytest.approx(total, rel=1e-9)
+    assert m.covers(total) == (not gaps)
+
+
+# -- directed examples (the paper's own marker text) --------------------------
+
+def test_range_marker_paper_example():
+    m = RestartMarkers([(0.0, 29.0), (40.0, 89.0)])
+    assert m.serialize() == "0-29,40-89"
+    assert m.bytes_done == 78.0
+    assert m.contiguous_prefix() == 29.0
+    assert m.missing(100.0) == [(29.0, 40.0), (89.0, 100.0)]
+
+
+def test_adjacent_ranges_coalesce():
+    m = RestartMarkers()
+    m.add(0.0, 10.0)
+    m.add(20.0, 30.0)
+    m.add(10.0, 20.0)  # bridges both neighbours exactly
+    assert m.ranges == ((0.0, 30.0),)
+    assert len(m) == 1
+
+
+def test_inverted_range_rejected_and_empty_ignored():
+    m = RestartMarkers()
+    with pytest.raises(ValueError):
+        m.add(5.0, 1.0)
+    m.add(3.0, 3.0)
+    assert m.ranges == ()
+    assert m.contiguous_prefix() == 0.0
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        RestartMarkers.parse("12")
+    with pytest.raises(ValueError):
+        RestartMarkers.parse("a-b")
+    assert RestartMarkers.parse("") == RestartMarkers()
+
+
+def test_transfer_records_covering_markers():
+    """The block pump's markers cover exactly the transferred file."""
+    from repro.net import MB
+    from tests.gridftp.conftest import Grid
+    grid = Grid()
+    grid.server.store("marked.nc", 32 * MB)
+
+    def main():
+        session = yield from grid.client.connect(grid.client_host,
+                                                 "srv.lbl.gov")
+        return (yield from session.get("marked.nc", grid.client_fs,
+                                       grid.client_host))
+
+    stats = grid.run_process(main())
+    markers = stats.restart_markers
+    assert markers is not None
+    assert markers.covers(32 * MB)
+    assert markers.bytes_done == pytest.approx(32 * MB)
+    assert RestartMarkers.parse(markers.serialize()) == markers

@@ -1,0 +1,45 @@
+"""Sanity coverage for the many-tenant contention scenario.
+
+The full sweep (and the fairness acceptance gate) lives in
+``benchmarks/bench_scheduler_fairness.py``; this keeps the scenario
+itself — ticket planning, tenant round-robin, latency bookkeeping,
+scheduler stats plumbing — under tier-1.
+"""
+
+from repro.scenarios import run_contention
+
+
+def test_contention_small_run_both_modes():
+    base = run_contention(8, scheduled=False, seed=3, n_users=4)
+    sched = run_contention(8, scheduled=True, seed=3, n_users=4)
+
+    for result in (base, sched):
+        assert result.n_tickets == 8
+        assert result.failed_files == 0
+        assert result.duration > 0 and result.goodput > 0
+        # 8 tickets at bulk_every=4 -> 6 small, 2 bulk.
+        assert len(result.small_latencies) == 6
+        assert len(result.bulk_latencies) == 2
+        assert all(lat > 0 for lat in result.small_latencies)
+        assert result.p95_small_latency > 0
+    # Same workload lands the same bytes either way.
+    assert base.total_bytes == sched.total_bytes
+
+    assert base.scheduler_stats is None
+    stats = sched.scheduler_stats
+    assert stats is not None
+    # 6 small (1 file) + 2 bulk (6 files) = 18 admissions, all granted.
+    assert stats["admitted"] == 18
+    assert stats["granted"] == 18
+    assert stats["rejected"] == 0 and stats["withdrawn"] == 0
+    assert not stats["waiting"] and not stats["active"]
+    assert stats["total_bytes"] == sched.total_bytes
+
+
+def test_contention_deterministic_per_seed():
+    a = run_contention(6, scheduled=True, seed=9, n_users=3)
+    b = run_contention(6, scheduled=True, seed=9, n_users=3)
+    assert a.duration == b.duration
+    assert a.small_latencies == b.small_latencies
+    assert a.bulk_latencies == b.bulk_latencies
+    assert a.scheduler_stats == b.scheduler_stats
