@@ -1,0 +1,283 @@
+"""Pipelined tape-to-WAN staging — reactive FIFO vs the staging pipeline.
+
+The paper's challenge workload is tape-heavy: every cold request pays a
+cartridge mount (~40 s), a wind, and a 14 MB/s stream before the first
+WAN byte moves. This bench runs a multi-tenant, cold-MSS workload whose
+datasets are striped across cartridges — the pathological case for a
+reactive FIFO drive pool, which remounts on nearly every read — and
+compares four configurations:
+
+- ``baseline``    — FIFO drive pool, no prefetch, sequential
+  stage-then-transfer (the pre-pipeline behaviour);
+- ``batch``       — tape-aware batch scheduler only (cartridge
+  grouping, SCAN order, aging bound);
+- ``cutthrough``  — batch + stage/transfer cut-through (transfers start
+  at a 25% staged watermark, rate-capped at the tape drive rate);
+- ``pipelined``   — batch + cut-through + dataset-aware prefetch
+  (ticket hints stage idle-time siblings in cartridge order).
+
+The bulk sweep runs with ``per_server_cap=8``, which keeps the tape
+demand-saturated — the regime where batching dominates. A separate
+**interactive** row runs one tenant at ``per_server_cap=2``: demand
+trickles in behind the WAN drains, the drive pool has idle time, and
+the dataset hint lets prefetch walk the cartridges ahead of demand.
+
+Gates (the issue's acceptance criteria):
+
+- the pipelined run pays at least 2x fewer cartridge mounts than the
+  FIFO baseline on the canonical striped workload (the first sweep
+  point, where each ticket walks a whole striped dataset in stripe
+  order); deeper tenancy interleaves tickets and hands FIFO chance
+  same-cartridge adjacency, so those points gate at >= 1.4x and
+  strictly fewer mounts;
+- mean time-to-first-byte for the cold tape-resident files is lower
+  with cut-through enabled, at every sweep point;
+- makespan is no worse than the baseline in every configuration, at
+  every sweep point;
+- in the interactive regime, prefetch demonstrably runs ahead of
+  demand (hits >= 4) with fewer mounts and no makespan regression.
+
+Results land in ``BENCH_staging_pipeline.json`` at the repo root. Set
+``REPRO_STAGING_TENANTS=2`` (comma-separated tenant counts) for a
+reduced CI-smoke sweep; the gates bind at every point of whatever sweep
+runs.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.gridftp.protocol import GridFtpConfig
+from repro.rm.scheduler import SchedulerConfig
+from repro.scenarios import EsgTestbed
+
+from benchmarks.conftest import record, run_once
+
+MB = 2**20
+FILE_SIZE = 64 * MB
+TENANT_COUNTS = (2, 4)
+CARTRIDGES_PER_DATASET = 3
+SEED = 11
+OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_staging_pipeline.json"
+
+MOUNT_GATE = 2.0           # canonical striped point: >= 2x fewer mounts
+MOUNT_GATE_DEEP = 1.4       # interleaved-tenancy points (see docstring)
+MAKESPAN_TOLERANCE = 1.02   # "no worse" with float slack
+
+CONFIGS = (
+    ("baseline", dict(tape_policy="fifo", hrm_prefetch=False,
+                      watermark=None)),
+    ("batch", dict(tape_policy="batch", hrm_prefetch=False,
+                   watermark=None)),
+    ("cutthrough", dict(tape_policy="batch", hrm_prefetch=False,
+                        watermark=0.25)),
+    ("pipelined", dict(tape_policy="batch", hrm_prefetch=True,
+                       watermark=0.25)),
+)
+
+
+def _tenant_counts():
+    env_counts = os.environ.get("REPRO_STAGING_TENANTS")
+    if env_counts:
+        return tuple(int(c) for c in env_counts.split(","))
+    return TENANT_COUNTS
+
+
+def _build(tape_policy, hrm_prefetch, watermark, cap=8, drives=2):
+    tb = EsgTestbed(
+        seed=SEED, with_tape=True, file_size_override=FILE_SIZE,
+        scheduler=SchedulerConfig(per_server_cap=cap),
+        config=GridFtpConfig(parallelism=2, stage_watermark=watermark),
+        tape_policy=tape_policy, hrm_prefetch=hrm_prefetch,
+        tape_drives=drives)
+    tb.warm_nws(60.0)
+    pdsf = tb.sites["lbnl-pdsf"]
+    for run_idx, ds in enumerate(tb.dataset_ids()):
+        names = [str(f["logical_name"]) for f in tb.datasets[ds]]
+        for i, name in enumerate(names):
+            # Cold MSS: the tape copy is the only copy.
+            for site_name in sorted(tb.sites):
+                if site_name != "lbnl-pdsf":
+                    try:
+                        tb.replica_catalog.remove_file_from_location(
+                            ds, site_name, name)
+                    except KeyError:
+                        pass
+            # Stripe the dataset round-robin across its cartridges
+            # (register() overwrites the populate-time placement).
+            cart = i % CARTRIDGES_PER_DATASET
+            stripe_depth = i // CARTRIDGES_PER_DATASET
+            pdsf.hrm.mss.tape.register(
+                pdsf.hrm.mss.tape.lookup(name),
+                tape=f"S{run_idx}{cart}",
+                position=stripe_depth / 8.0)
+    return tb
+
+
+def _tenant_requests(tb, n_tenants):
+    """Split the full 24-file workload into n disjoint tenant tickets.
+
+    Every sweep point moves the same bytes; only the tenancy
+    granularity changes."""
+    slices = []
+    datasets = tb.dataset_ids()
+    per_ds = max(1, n_tenants // len(datasets))
+    for ds in datasets:
+        names = [str(f["logical_name"]) for f in tb.datasets[ds]]
+        chunk = len(names) // per_ds
+        for k in range(per_ds):
+            hi = len(names) if k == per_ds - 1 else (k + 1) * chunk
+            slices.append([(ds, n) for n in names[k * chunk:hi]])
+    return slices
+
+
+def _run(n_tenants, tape_policy, hrm_prefetch, watermark, cap=8,
+         drives=2, requests_fn=None):
+    tb = _build(tape_policy, hrm_prefetch, watermark, cap=cap,
+                drives=drives)
+    pdsf = tb.sites["lbnl-pdsf"]
+    t0 = tb.env.now
+    make = requests_fn or (lambda t: _tenant_requests(t, n_tenants))
+    tickets = [tb.request_manager.submit(reqs) for reqs in make(tb)]
+    for ticket in tickets:
+        tb.env.run(until=ticket.done)
+    failed = sum(1 for t in tickets for f in t.files
+                 if f.state.value != "done")
+    assert failed == 0, (
+        f"{failed} files failed ({tape_policy}, prefetch={hrm_prefetch})")
+    total_bytes = sum(f.bytes_done for t in tickets for f in t.files)
+    ttfb = tb.obs.metrics.histogram("rm.ttfb_seconds")
+    hrm = pdsf.hrm
+    return {
+        "makespan_s": round(tb.env.now - t0, 2),
+        "total_mib": round(total_bytes / MB, 1),
+        "mounts": hrm.mss.tape.mounts_total,
+        "mount_reuses": hrm.mss.tape.mount_reuses,
+        "ttfb_mean_s": round(ttfb.sum() / ttfb.count(), 2)
+        if ttfb.count() else None,
+        "prefetch_issued": hrm.prefetch_issued,
+        "prefetch_hits": hrm.prefetch_hits,
+        "cutthrough_transfers": sum(
+            s.cutthrough_served for s in tb.registry.values()),
+    }
+
+
+def _single_dataset_ticket(tb):
+    """One ticket for the 12 files of the first dataset."""
+    ds = tb.dataset_ids()[0]
+    return [[(ds, str(f["logical_name"])) for f in tb.datasets[ds]]]
+
+
+def _interactive_row():
+    """Low-concurrency single-tenant run: per_server_cap=2 keeps most of
+    the workload queued behind WAN drains, so the drive pool has idle
+    time and dataset prefetch can walk the cartridges ahead of demand.
+    This is the regime where the hint pays off; the bulk sweep above
+    keeps the tape demand-saturated and measures batching instead."""
+    row = {"tenants": 1, "files": 12, "per_server_cap": 2}
+    row["reactive"] = _run(1, "fifo", False, None, cap=2,
+                           requests_fn=_single_dataset_ticket)
+    row["pipelined"] = _run(1, "batch", True, 0.25, cap=2,
+                            requests_fn=_single_dataset_ticket)
+    base, piped = row["reactive"], row["pipelined"]
+    row["mount_ratio"] = (round(base["mounts"] / piped["mounts"], 2)
+                          if piped["mounts"] else None)
+    row["makespan_speedup"] = round(
+        base["makespan_s"] / piped["makespan_s"], 2)
+    return row
+
+
+def _row(n_tenants):
+    row = {"tenants": n_tenants, "files": None}
+    for label, cfg in CONFIGS:
+        row[label] = _run(n_tenants, cfg["tape_policy"],
+                          cfg["hrm_prefetch"], cfg["watermark"])
+    row["files"] = 24
+    base, piped = row["baseline"], row["pipelined"]
+    row["mount_ratio"] = (round(base["mounts"] / piped["mounts"], 2)
+                          if piped["mounts"] else None)
+    row["makespan_speedup"] = round(
+        base["makespan_s"] / piped["makespan_s"], 2)
+    return row
+
+
+def test_staging_pipeline_sweep(benchmark, show):
+    counts = _tenant_counts()
+    rows, interactive = run_once(
+        benchmark,
+        lambda: ([_row(n) for n in counts], _interactive_row()))
+
+    show()
+    show("=== Pipelined tape-to-WAN staging (cold MSS, striped "
+         "cartridges) ===")
+    for r in rows:
+        show(f"  tenants={r['tenants']} ({r['files']} files, "
+             f"{r['baseline']['total_mib']:.0f} MiB)")
+        show(f"    {'config':>11} {'makespan(s)':>12} {'mounts':>7} "
+             f"{'ttfb(s)':>8} {'pf hits':>8} {'cut':>4}")
+        for label, _cfg in CONFIGS:
+            c = r[label]
+            show(f"    {label:>11} {c['makespan_s']:>12.1f} "
+                 f"{c['mounts']:>7} {c['ttfb_mean_s']:>8.1f} "
+                 f"{c['prefetch_hits']:>8} {c['cutthrough_transfers']:>4}")
+        show(f"    mounts {r['mount_ratio']}x fewer, makespan "
+             f"{r['makespan_speedup']}x faster (pipelined vs baseline)")
+
+    show(f"  interactive (1 tenant, {interactive['files']} files, "
+         f"per_server_cap={interactive['per_server_cap']})")
+    show(f"    {'config':>11} {'makespan(s)':>12} {'mounts':>7} "
+         f"{'ttfb(s)':>8} {'pf hits':>8} {'cut':>4}")
+    for label in ("reactive", "pipelined"):
+        c = interactive[label]
+        show(f"    {label:>11} {c['makespan_s']:>12.1f} "
+             f"{c['mounts']:>7} {c['ttfb_mean_s']:>8.1f} "
+             f"{c['prefetch_hits']:>8} {c['cutthrough_transfers']:>4}")
+    show(f"    mounts {interactive['mount_ratio']}x fewer, makespan "
+         f"{interactive['makespan_speedup']}x faster (pipelined vs "
+         f"reactive)")
+
+    OUT_PATH.write_text(json.dumps({
+        "workload": {
+            "seed": SEED, "file_size_mib": FILE_SIZE // MB,
+            "datasets": 2, "files_per_dataset": 12,
+            "cartridges_per_dataset": CARTRIDGES_PER_DATASET,
+            "per_server_cap": 8, "stage_watermark": 0.25,
+        },
+        "rows": rows,
+        "interactive": interactive,
+    }, indent=2) + "\n")
+    record(benchmark, rows=rows, interactive=interactive)
+
+    for i, r in enumerate(rows):
+        base = r["baseline"]
+        # Tape-aware batching amortizes mounts >= 2x on the canonical
+        # striped workload; interleaved-tenancy points gate lower
+        # because FIFO picks up chance same-cartridge adjacency there.
+        gate = MOUNT_GATE if i == 0 else MOUNT_GATE_DEEP
+        assert r["mount_ratio"] >= gate, (
+            f"tenants={r['tenants']}: only {r['mount_ratio']}x fewer "
+            f"mounts (gate {gate}x)")
+        assert r["pipelined"]["mounts"] < base["mounts"]
+        # Cut-through moves the first byte earlier on cold tape files.
+        assert r["cutthrough"]["ttfb_mean_s"] < base["ttfb_mean_s"], (
+            f"tenants={r['tenants']}: cut-through TTFB "
+            f"{r['cutthrough']['ttfb_mean_s']} not below baseline "
+            f"{base['ttfb_mean_s']}")
+        assert r["pipelined"]["ttfb_mean_s"] < base["ttfb_mean_s"]
+        # And no configuration trades makespan away for it.
+        for label, _cfg in CONFIGS:
+            assert (r[label]["makespan_s"]
+                    <= base["makespan_s"] * MAKESPAN_TOLERANCE), (
+                f"tenants={r['tenants']}: {label} makespan "
+                f"{r[label]['makespan_s']} worse than baseline "
+                f"{base['makespan_s']}")
+
+    # Interactive regime: idle drive time exists, so the dataset hint
+    # must actually run ahead of demand and pay off.
+    piped = interactive["pipelined"]
+    assert piped["prefetch_hits"] >= 4, (
+        f"only {piped['prefetch_hits']} prefetch hits in the "
+        f"interactive regime")
+    assert piped["mounts"] < interactive["reactive"]["mounts"]
+    assert (piped["makespan_s"]
+            <= interactive["reactive"]["makespan_s"] * MAKESPAN_TOLERANCE)

@@ -55,6 +55,9 @@ class TransferHandle:
         self.abort_event: Event = Event(env)
         # sim time the first data flow started moving bytes (TTFB anchor)
         self.first_byte_at: Optional[float] = None
+        # True when this transfer started against a still-staging file
+        # (stage/transfer cut-through).
+        self.cutthrough = False
 
     def bytes_done(self) -> float:
         """Bytes delivered so far (live flows included)."""
@@ -139,20 +142,31 @@ class ClientSession:
         # SBUF + OPTS + RETR setup commands.
         yield from self._command()
         nbytes, content = yield from self.server.prepare_retrieve(
-            path, offset, length, eret, eret_args)
+            path, offset, length, eret, eret_args,
+            watermark=cfg.stage_watermark)
+        # Claimed synchronously (no yield since prepare returned): a
+        # non-None cap means the file is still growing on the staging
+        # disk and the transfer must not outrun the tape readahead.
+        rate_cap = self.server.claim_retrieve_rate_cap(path)
         stats = TransferStats(path=path, requested_bytes=nbytes,
                               started_at=env.now, streams=cfg.parallelism)
         if handle is None:
             handle = TransferHandle(env, path, nbytes)
         else:
             handle.total = nbytes
+        handle.cutthrough = rate_cap is not None
         src = self.server.data_node
         dst = dest_host.store_node
         # Register with the server so a crash drops this transfer.
         self.server.register_handle(handle)
         try:
             yield from self._pump_blocks(path, src, dst, nbytes, cfg, stats,
-                                         handle, record)
+                                         handle, record, rate_cap=rate_cap)
+        except BaseException:
+            # The RETR dies here without reaching finish_retrieve: give
+            # back the stage pin (or pending waiter slot) it holds.
+            self.server.abandon_retrieve(path)
+            raise
         finally:
             self.server.unregister_handle(handle)
         # 226 closing data connection.
@@ -180,19 +194,24 @@ class ClientSession:
         if handle.first_byte_at is not None:
             obs.observe("gridftp.ttfb_seconds",
                         handle.first_byte_at - stats.started_at, op=op)
+            if handle.cutthrough:
+                obs.observe("hrm.cutthrough_ttfb_seconds",
+                            handle.first_byte_at - stats.started_at)
 
     def _channel_worker(self, conn: Connection,
                         queue: List[Tuple[float, float]],
                         failed: List[Tuple[float, float]],
                         series_out: Optional[list],
                         handle: TransferHandle, path: str,
-                        markers: RestartMarkers):
+                        markers: RestartMarkers,
+                        rate_cap: Optional[float] = None):
         """One data channel pulling blocks until the queue drains.
 
         ``queue`` holds ``(offset, length)`` blocks; every byte range
         fully delivered is recorded in ``markers`` (GridFTP restart
         markers), and a failed block's undelivered tail goes back to
-        ``failed`` for the next restart round.
+        ``failed`` for the next restart round. ``rate_cap`` (cut-through)
+        is a hard per-channel ceiling the TCP window cannot exceed.
         """
         moved = 0.0
         while queue:
@@ -203,7 +222,9 @@ class ClientSession:
                 flow = conn.transport.network.transfer(
                     conn.src, conn.dst, block,
                     cap=conn.stream.window_cap,
-                    name=f"gridftp:{path}", recorder=rec)
+                    name=f"gridftp:{path}", recorder=rec,
+                    limit=(rate_cap if rate_cap is not None
+                           else float("inf")))
                 handle._active_flows.append(flow)
                 if handle.first_byte_at is None:
                     handle.first_byte_at = self.env.now
@@ -291,12 +312,15 @@ class ClientSession:
 
     def _pump_blocks(self, path: str, src: str, dst: str, nbytes: float,
                      cfg: GridFtpConfig, stats: TransferStats,
-                     handle: TransferHandle, record: bool):
+                     handle: TransferHandle, record: bool,
+                     rate_cap: Optional[float] = None):
         """Shared restartable block pump for RETR and STOR.
 
         Opens ``cfg.parallelism`` data channels, drains the block queue,
         requeues what failed, and retries with backoff until done or
-        ``retry_limit`` is exhausted (426).
+        ``retry_limit`` is exhausted (426). ``rate_cap`` (cut-through)
+        bounds the *aggregate* rate: it is split evenly across the open
+        channels so the sum can never exceed the tape readahead.
         """
         env = self.env
         buffer_bytes = self.client.negotiate_buffer(src, dst, cfg)
@@ -337,9 +361,11 @@ class ClientSession:
                 c.transfers > 0 for c in channels)
             queue = list(blocks)
             failed: List[Tuple[float, float]] = []
+            per_channel = (rate_cap / len(channels)
+                           if rate_cap is not None else None)
             workers = [env.process(self._channel_worker(
                 conn, queue, failed, stats.series if record else None,
-                handle, path, markers))
+                handle, path, markers, rate_cap=per_channel))
                 for conn in channels]
             results = yield env.all_of(workers)
             moved = sum(results.values())

@@ -100,6 +100,13 @@ class GridFtpConfig:
         win.
     fallback_latency:
         One-way seconds assumed for an unmeasured path.
+    stage_watermark:
+        Fraction of a tape-resident file that must be staged before the
+        transfer starts (stage/transfer cut-through). ``None`` (default)
+        keeps the paper's strictly sequential behaviour — wait for the
+        whole file. Must be in (0, 1]: a strictly positive watermark
+        guarantees the stage (and its cache pin) completes before the
+        rate-capped transfer can drain the last byte.
     """
 
     parallelism: int = 1
@@ -112,6 +119,7 @@ class GridFtpConfig:
     loss_rate: float = 0.0
     fallback_bandwidth: float = 125000.0  # 1 Mb/s
     fallback_latency: float = 0.1
+    stage_watermark: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.parallelism < 1:
@@ -128,6 +136,9 @@ class GridFtpConfig:
             raise ValueError("loss_rate must be >= 0")
         if self.fallback_bandwidth <= 0 or self.fallback_latency < 0:
             raise ValueError("bad fallback path configuration")
+        if self.stage_watermark is not None \
+                and not (0.0 < self.stage_watermark <= 1.0):
+            raise ValueError("stage_watermark must be in (0, 1]")
 
 
 @dataclass

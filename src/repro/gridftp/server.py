@@ -80,6 +80,11 @@ class GridFtpServer:
         self.up = True
         self.crashes = 0
         self._active_handles: set = set()
+        # Cut-through hand-off: per-path stack of tape readahead rate
+        # caps, pushed by _materialize when a transfer starts against a
+        # still-growing file and claimed synchronously by the client.
+        self._pending_rate_caps: Dict[str, list] = {}
+        self.cutthrough_served = 0
 
     # -- connection limiting ----------------------------------------------
     def try_accept(self) -> bool:
@@ -183,17 +188,28 @@ class GridFtpServer:
     def prepare_retrieve(self, path: str, offset: float = 0.0,
                          length: Optional[float] = None,
                          eret: Optional[str] = None,
-                         eret_args: Optional[dict] = None):
+                         eret_args: Optional[dict] = None,
+                         watermark: Optional[float] = None):
         """Simulation process: make ``path`` ready to send.
 
         Stages tape-resident files through the HRM if needed, applies any
         ERET plug-in, validates the partial-retrieval window, and returns
         ``(bytes_to_send, content_or_None)``.
+
+        With ``watermark`` set (a fraction in (0, 1]), a whole-file RETR
+        of a file that is still staging returns as soon as that fraction
+        is disk-resident (stage/transfer cut-through): the server pushes
+        the tape readahead rate for the client to claim, so the
+        transfer can never overtake the staged prefix. Partial reads and
+        ERET requests always wait for the full file — they address
+        arbitrary byte ranges.
         """
         if not self.up:
             raise GridFtpError(FtpReply(
                 ACTION_NOT_TAKEN, f"server {self.hostname} is down"))
-        file = yield from self._materialize(path)
+        if eret is not None or offset != 0.0 or length is not None:
+            watermark = None
+        file = yield from self._materialize(path, watermark)
         content = file.content
         size = file.size
         if eret is not None:
@@ -218,18 +234,40 @@ class GridFtpServer:
             content = content[lo:lo + int(nbytes)]
         return nbytes, content
 
+    def claim_retrieve_rate_cap(self, path: str) -> Optional[float]:
+        """Pop the cut-through rate cap pushed by the last
+        ``prepare_retrieve`` of ``path``, if any.
+
+        Called by the client synchronously after ``prepare_retrieve``
+        returns (no simulation yield in between, so hand-offs cannot
+        interleave across sessions).
+        """
+        caps = self._pending_rate_caps.get(path)
+        if not caps:
+            return None
+        cap = caps.pop()
+        if not caps:
+            del self._pending_rate_caps[path]
+        return cap
+
     def finish_retrieve(self, path: str, nbytes: float) -> None:
-        """Account a completed (possibly partial) send."""
+        """Account a completed (possibly partial) send and balance the
+        stage pin this RETR took (no-op for non-MSS files)."""
         self.bytes_served += nbytes
         self.transfers_served += 1
         if self.obs is not None:
             self.obs.count("gridftp.served_total", host=self.hostname)
             self.obs.count("gridftp.served_bytes_total", nbytes,
                            host=self.hostname)
-        if self.hrm is not None and not self.fs.exists(path):
-            return
         if self.hrm is not None:
             self.hrm.release(path)
+
+    def abandon_retrieve(self, path: str) -> None:
+        """A RETR that passed ``prepare_retrieve`` failed mid-transfer:
+        balance its stage pin (or pending waiter slot) so the file does
+        not stay pinned forever."""
+        if self.hrm is not None:
+            self.hrm.abandon(path)
 
     def store(self, path: str, size: float,
               content: Optional[bytes] = None,
@@ -248,14 +286,32 @@ class GridFtpServer:
         raise GridFtpError(FtpReply(FILE_UNAVAILABLE,
                                     f"{path}: no such file"))
 
-    def _materialize(self, path: str):
-        """Ensure the file is disk-resident; returns the FileObject."""
-        if self.fs.exists(path):
-            return self.fs.stat(path)
+    def _materialize(self, path: str, watermark: Optional[float] = None):
+        """Ensure enough of the file is disk-resident; returns the
+        FileObject.
+
+        MSS-resident files always go through the HRM — even when already
+        published to the serving disk — so every RETR takes exactly one
+        cache pin (the HRM's fast path pins cached files per caller) and
+        every finish/abandon balances it. With ``watermark`` set, a
+        still-staging file is served once that fraction is on disk; the
+        transfer is then rate-capped at the tape readahead so it can
+        never overtake the staged prefix.
+        """
         if self.hrm is not None and self.hrm.mss.has(path):
             try:
                 req = self.hrm.request_stage(path)
-                file = yield req.ready
+                if (watermark is not None and not req.ready.triggered
+                        and req.progress is not None and req.size > 0):
+                    gate = req.progress.at_bytes(watermark * req.size)
+                    # Whichever comes first: the watermark, or the whole
+                    # stage (a failed stage raises here via AnyOf).
+                    yield self.env.any_of([gate, req.ready])
+                    if not req.ready.triggered:
+                        return self._begin_cutthrough(path, req)
+                    file = req.ready.value
+                else:
+                    file = yield req.ready
             except StagingError as exc:
                 # Surface tape/HRM failures as a transient 450 so the RM
                 # can classify and retry elsewhere.
@@ -263,9 +319,25 @@ class GridFtpServer:
                     ACTION_NOT_TAKEN, f"{path}: staging failed: {exc}")) \
                     from exc
             return file
+        if self.fs.exists(path):
+            return self.fs.stat(path)
         raise GridFtpError(FtpReply(FILE_UNAVAILABLE,
                                     f"{path}: no such file"))
         yield  # pragma: no cover - makes this a generator in all paths
+
+    def _begin_cutthrough(self, path: str, req) -> FileObject:
+        """Serve a growing file: push the readahead rate cap for the
+        client and account the overlap."""
+        rate = self.hrm.mss.tape.spec.read_rate
+        self._pending_rate_caps.setdefault(path, []).append(rate)
+        self.cutthrough_served += 1
+        if self.obs is not None:
+            self.obs.count("gridftp.cutthrough_total", host=self.hostname)
+            self.obs.event(
+                "hrm.cutthrough.start", prog="gridftp", host=self.hostname,
+                file=path, staged=f"{req.progress.staged_bytes():.0f}",
+                total=f"{req.size:.0f}")
+        return self.hrm.mss.tape.lookup(path)
 
     def __repr__(self) -> str:
         return (f"GridFtpServer({self.hostname!r}, "

@@ -69,17 +69,23 @@ class Flow:
     :class:`FlowError` when aborted.
     """
 
-    __slots__ = ("id", "name", "path", "size", "cap", "rate",
+    __slots__ = ("id", "name", "path", "size", "cap", "limit", "rate",
                  "done", "recorder", "started_at", "finished_at",
                  "_network", "_remaining", "_advanced_at", "_pred_version")
 
     def __init__(self, network: "FluidNetwork", name: str, path: List[Link],
-                 size: float, cap: float, recorder: Optional[RateRecorder]):
+                 size: float, cap: float, recorder: Optional[RateRecorder],
+                 limit: float = math.inf):
         self.id = network.env.next_id("flow")
         self.name = name or f"flow-{self.id}"
         self.path = path
         self.size = float(size)
-        self.cap = float(cap)
+        # ``limit`` is a hard ceiling that every later set_cap() is
+        # clamped to (e.g. a tape drive's readahead rate feeding a
+        # cut-through transfer); ``cap`` is the live, mutable ceiling
+        # (e.g. the TCP window).
+        self.limit = float(limit)
+        self.cap = min(float(cap), self.limit)
         self.rate = 0.0
         self.done: Event = Event(network.env)
         self.recorder = recorder
@@ -180,17 +186,19 @@ class FluidNetwork:
     def transfer(self, src: str, dst: str, nbytes: float,
                  cap: float = math.inf, name: str = "",
                  recorder: Optional[RateRecorder] = None,
-                 path: Optional[List[Link]] = None) -> Flow:
+                 path: Optional[List[Link]] = None,
+                 limit: float = math.inf) -> Flow:
         """Start a flow of ``nbytes`` from node ``src`` to node ``dst``.
 
         Returns the :class:`Flow`; wait on ``flow.done`` for completion.
-        A zero-byte transfer completes immediately.
+        A zero-byte transfer completes immediately. ``limit`` is a hard
+        rate ceiling that survives later :meth:`set_cap` calls.
         """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         if path is None:
             path = self.topology.path(src, dst)
-        flow = Flow(self, name, path, nbytes, cap, recorder)
+        flow = Flow(self, name, path, nbytes, cap, recorder, limit=limit)
         if nbytes == 0:
             flow.finished_at = self.env.now
             flow.done.succeed(flow)
@@ -202,10 +210,11 @@ class FluidNetwork:
         return flow
 
     def set_cap(self, flow: Flow, cap: float) -> None:
-        """Change ``flow``'s ceiling and schedule a reallocation."""
+        """Change ``flow``'s ceiling (clamped to ``flow.limit``) and
+        schedule a reallocation."""
         if not flow.active:
             return
-        flow.cap = float(cap)
+        flow.cap = min(float(cap), flow.limit)
         self._mark_flow(flow)
 
     def abort(self, flow: Flow, reason: str = "aborted") -> None:

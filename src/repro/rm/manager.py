@@ -513,6 +513,12 @@ class RequestManager:
             ticket._handles[fr.logical_file] = handle
         policy = (self.reliability.clone()
                   if self.reliability is not None else None)
+        if server.hrm is not None and ticket is not None:
+            # Dataset-aware prefetch: hand the HRM the ticket's full
+            # logical-file list so it can stage not-yet-requested
+            # siblings during idle drive time.
+            server.hrm.hint_dataset(
+                [f.logical_file for f in ticket.files])
         if server.hrm is not None and not server.hrm.is_staged(
                 fr.logical_file) and server.hrm.mss.has(fr.logical_file):
             fr.state = FileState.STAGING

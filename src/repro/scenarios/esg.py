@@ -119,6 +119,15 @@ class EsgTestbed:
         When set, every GridFTP server rejects connects beyond this
         many concurrent sessions with a 421 reply (visible
         backpressure for unscheduled stampedes).
+    tape_policy:
+        Tape scheduling policy at the PDSF library: ``"batch"``
+        (cartridge grouping + SCAN + aging, the default) or ``"fifo"``
+        (strict arrival order, the pre-pipeline baseline).
+    hrm_prefetch:
+        Whether the PDSF HRM prefetches hinted dataset siblings during
+        idle drive time.
+    tape_drives:
+        Number of tape drives in the PDSF library (default 2).
     """
 
     def __init__(self, seed: int = 0, years: int = 1,
@@ -132,7 +141,10 @@ class EsgTestbed:
                  resilience: Optional["ResiliencePolicy"] = None,
                  log_capacity: Optional[int] = None,
                  scheduler: Optional["SchedulerConfig"] = None,
-                 max_server_connections: Optional[int] = None):
+                 max_server_connections: Optional[int] = None,
+                 tape_policy: str = "batch",
+                 hrm_prefetch: bool = True,
+                 tape_drives: int = 2):
         self.env = Environment(seed=seed)
         env = self.env
         self.grid = grid or GridSpec(nlat=32, nlon=64, months=12)
@@ -174,10 +186,14 @@ class EsgTestbed:
             hrm = None
             if name == "lbnl-pdsf" and with_tape:
                 mss = MassStorageSystem(env, cache_capacity=400 * 2**30,
-                                        drives=2, name="hpss-pdsf")
+                                        drives=tape_drives,
+                                        name="hpss-pdsf",
+                                        tape_policy=tape_policy,
+                                        obs=self.obs)
                 hrm = HierarchicalResourceManager(env, mss, fs,
                                                   name="hrm-pdsf",
-                                                  obs=self.obs)
+                                                  obs=self.obs,
+                                                  prefetch=hrm_prefetch)
             server = GridFtpServer(env, host, fs, gsi=self.gsi,
                                    credential_chain=server_id.chain,
                                    hrm=hrm, hostname=hostname,

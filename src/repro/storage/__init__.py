@@ -27,7 +27,13 @@ from repro.storage.filesystem import (
     NoSpaceError,
 )
 from repro.storage.cache import DiskCache
-from repro.storage.tape import TapeDrive, TapeLibrary, TapeSpec
+from repro.storage.tape import (
+    StageProgress,
+    TapeDrive,
+    TapeJob,
+    TapeLibrary,
+    TapeSpec,
+)
 from repro.storage.hpss import MassStorageSystem
 from repro.storage.hrm import HierarchicalResourceManager, StageRequest
 
@@ -40,8 +46,10 @@ __all__ = [
     "HierarchicalResourceManager",
     "MassStorageSystem",
     "NoSpaceError",
+    "StageProgress",
     "StageRequest",
     "TapeDrive",
+    "TapeJob",
     "TapeLibrary",
     "TapeSpec",
 ]

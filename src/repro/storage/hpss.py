@@ -7,7 +7,12 @@ from typing import Optional
 from repro.sim.core import Environment
 from repro.storage.cache import DiskCache
 from repro.storage.filesystem import FileObject
-from repro.storage.tape import TapeLibrary, TapeSpec
+from repro.storage.tape import (
+    PRIORITY_DEMAND,
+    StageProgress,
+    TapeLibrary,
+    TapeSpec,
+)
 
 
 class MassStorageSystem:
@@ -21,12 +26,15 @@ class MassStorageSystem:
 
     def __init__(self, env: Environment, cache_capacity: float,
                  drives: int = 2, tape_spec: Optional[TapeSpec] = None,
-                 name: str = "hpss"):
+                 name: str = "hpss", tape_policy: str = "batch",
+                 prefetch_share: float = 0.5, obs=None):
         self.env = env
         self.name = name
         self.tape = TapeLibrary(env, drives=drives, spec=tape_spec,
-                                name=f"{name}-tape")
-        self.cache = DiskCache(env, cache_capacity, name=f"{name}-cache")
+                                name=f"{name}-tape", policy=tape_policy,
+                                obs=obs)
+        self.cache = DiskCache(env, cache_capacity, name=f"{name}-cache",
+                               prefetch_share=prefetch_share)
         self.stage_count = 0
         self.migrations = 0
 
@@ -62,14 +70,24 @@ class MassStorageSystem:
         return file
 
     # -- staging -------------------------------------------------------------------
-    def retrieve(self, name: str):
-        """Simulation process: make ``name`` disk-resident; returns it."""
+    def retrieve(self, name: str, priority: int = PRIORITY_DEMAND,
+                 kind: str = "demand",
+                 progress: Optional[StageProgress] = None):
+        """Simulation process: make ``name`` disk-resident; returns it.
+
+        ``priority`` orders the tape queue (demand before prefetch),
+        ``kind`` selects the cache admission policy, and ``progress``
+        (if given) is fed the live staged-byte watermark by the drive.
+        """
         cached = self.cache.get(name)
         if cached is not None:
+            if progress is not None:
+                progress._finish()
             return cached
-        file = yield from self.tape.read(name)
+        file = yield from self.tape.read(name, priority=priority,
+                                         progress=progress)
         self.stage_count += 1
-        return self.cache.put(file)
+        return self.cache.put(file, kind=kind)
 
     def estimate_retrieve_time(self, name: str) -> float:
         """0 for cached files, else the optimistic tape estimate."""

@@ -78,3 +78,67 @@ def test_different_seed_diverges():
     tb_a, _ = small_chaos_run(seed=23)
     tb_b, _ = small_chaos_run(seed=24)
     assert ulm_sequence(tb_a) != ulm_sequence(tb_b)
+
+
+def tape_chaos_run(seed: int):
+    """A tape/HRM-heavy chaos run: every requested file is forced through
+    the PDSF tape archive (disk replicas dropped), cut-through transfers
+    are on, prefetch hints fire, and the HRM itself fails mid-stage."""
+    from repro.gridftp.protocol import GridFtpConfig
+    resilience = ResiliencePolicy(
+        retry=RetryPolicy(max_rounds=3, base_delay=10.0, multiplier=2.0,
+                          max_delay=40.0, jitter=0.25),
+        breaker_failure_threshold=3, file_deadline=600.0)
+    tb = EsgTestbed(seed=seed, with_tape=True,
+                    file_size_override=8 * MB, resilience=resilience,
+                    scheduler=SchedulerConfig(per_server_cap=2),
+                    config=GridFtpConfig(parallelism=2,
+                                         stage_watermark=0.25))
+    tb.warm_nws(60.0)
+    ds = tb.dataset_ids()[0]
+    requests = [(ds, str(f["logical_name"]))
+                for f in tb.datasets[ds][:6]]
+    # Tape-only routing: the requested files exist nowhere but PDSF.
+    for site_name in sorted(tb.sites):
+        if site_name == "lbnl-pdsf":
+            continue
+        for _ds, name in requests:
+            try:
+                tb.replica_catalog.remove_file_from_location(
+                    ds, site_name, name)
+            except KeyError:
+                pass                  # no replica registered there
+    rng = tb.env.rng.stream("chaos.schedule")
+    sched = FaultSchedule()
+    sched.hrm_outage("hrm-pdsf", float(rng.uniform(30.0, 90.0)),
+                     float(rng.uniform(20.0, 60.0)),
+                     description="tape subsystem outage")
+    sched.link_outage("wan-lbnl-pdsf:fwd", float(rng.uniform(100.0, 200.0)),
+                      float(rng.uniform(20.0, 60.0)),
+                      description="pdsf uplink outage")
+    tb.fault_injector().install(sched)
+    ticket = tb.request_manager.submit(requests)
+    tb.env.run(until=tb.env.now + 900.0)
+    return tb, ticket
+
+
+def test_same_seed_identical_tape_chaos_lifelines():
+    """The staging pipeline (batch tape scheduler, cut-through, prefetch)
+    is part of the determinism contract too: a tape-heavy chaos run must
+    replay bit-for-bit."""
+    tb_a, ticket_a = tape_chaos_run(seed=31)
+    tb_b, ticket_b = tape_chaos_run(seed=31)
+    seq_a, seq_b = ulm_sequence(tb_a), ulm_sequence(tb_b)
+    assert len(seq_a) > 50
+    assert seq_a == seq_b
+    assert [(f.logical_file, f.state, f.bytes_done, f.finished_at)
+            for f in ticket_a.files] == \
+        [(f.logical_file, f.state, f.bytes_done, f.finished_at)
+         for f in ticket_b.files]
+    assert all(f.state in _TERMINAL for f in ticket_a.files)
+    # The run really exercised the tape path (mounts happened), and the
+    # RM's dataset hint really reached the HRM.
+    hrm = tb_a.sites["lbnl-pdsf"].hrm
+    assert hrm.mss.tape.mounts_total > 0
+    assert hrm.mss.tape.mounts_total == \
+        tb_b.sites["lbnl-pdsf"].hrm.mss.tape.mounts_total

@@ -126,3 +126,139 @@ def test_property_used_never_exceeds_capacity(ops):
     assert c.used <= c.capacity
     assert c.used == pytest.approx(
         sum(e.size for e in c._entries.values()))
+
+
+# -- prefetch admission ------------------------------------------------------------
+
+def test_prefetch_budget_cap():
+    c = DiskCache(Environment(), capacity=100, prefetch_share=0.3)
+    with pytest.raises(NoSpaceError):
+        c.put(FileObject("big", 40), kind="prefetch")
+    c.put(FileObject("ok", 30), kind="prefetch")
+    assert c.prefetch_used == 30
+
+
+def test_prefetch_evicts_only_prefetch():
+    """A prefetch insert may evict unpinned prefetch entries but never
+    demand data, even unpinned demand data."""
+    c = DiskCache(Environment(), capacity=100, prefetch_share=0.5)
+    c.put(FileObject("d1", 40))                      # demand, unpinned
+    c.put(FileObject("p1", 40), kind="prefetch")
+    c.put(FileObject("p2", 40), kind="prefetch")     # evicts p1, not d1
+    assert c.get("d1") is not None
+    assert c.kind("p1") is None
+    assert c.prefetch_evictions == 1
+    # Pinning p2 promotes it to demand; now nothing is evictable for
+    # speculation and the insert must be refused, touching neither entry.
+    c.pin("p2")
+    with pytest.raises(NoSpaceError):
+        c.put(FileObject("p3", 40), kind="prefetch")
+    assert c.get("d1") is not None and c.get("p2") is not None
+
+
+def test_demand_evicts_prefetch_first():
+    c = DiskCache(Environment(), capacity=100, prefetch_share=0.5)
+    c.put(FileObject("old", 40))
+    c.put(FileObject("spec", 40), kind="prefetch")
+    c.get("spec")            # prefetch is *more* recent than old
+    c.put(FileObject("new", 40))
+    # Speculative bytes go first even though demand 'old' is the LRU.
+    assert c.kind("spec") is None
+    assert c.get("old") is not None
+
+
+def test_pin_promotes_prefetch_to_demand():
+    c = DiskCache(Environment(), capacity=100, prefetch_share=0.3)
+    c.put(FileObject("p", 30), kind="prefetch")
+    assert c.prefetch_used == 30
+    c.pin("p")
+    assert c.kind("p") == "demand"
+    assert c.prefetch_used == 0       # budget released for new speculation
+    c.put(FileObject("q", 30), kind="prefetch")
+    c.unpin("p")
+
+
+def test_demand_put_promotes_existing_prefetch():
+    c = DiskCache(Environment(), capacity=100, prefetch_share=0.3)
+    c.put(FileObject("p", 30), kind="prefetch")
+    c.put(FileObject("p", 30))        # same bytes, now demanded
+    assert c.kind("p") == "demand"
+    assert c.prefetch_used == 0
+    assert c.used == 30
+
+
+def test_can_admit_prefetch():
+    c = DiskCache(Environment(), capacity=100, prefetch_share=0.5)
+    assert c.can_admit_prefetch(50)
+    assert not c.can_admit_prefetch(51)          # over budget
+    c.put(FileObject("p1", 50), kind="prefetch")
+    assert c.can_admit_prefetch(50)              # p1 is evictable
+    c.pin("p1")                                  # promoted + pinned
+    assert not c.can_admit_prefetch(60)
+    c.put(FileObject("d", 50))
+    c.pin("d")
+    # Budget free again but no bytes free and nothing evictable.
+    assert not c.can_admit_prefetch(10)
+
+
+def test_invalidate_prefetch_releases_budget():
+    c = DiskCache(Environment(), capacity=100, prefetch_share=0.3)
+    c.put(FileObject("p", 30), kind="prefetch")
+    c.invalidate("p")
+    assert c.prefetch_used == 0
+    assert c.can_admit_prefetch(30)
+
+
+def test_put_unknown_kind_rejected():
+    c = cache()
+    with pytest.raises(ValueError):
+        c.put(FileObject("a", 10), kind="speculative")
+
+
+def test_prefetch_share_validation():
+    with pytest.raises(ValueError):
+        DiskCache(Environment(), capacity=10, prefetch_share=1.5)
+
+
+# -- accounting under churn --------------------------------------------------------
+
+@given(st.lists(st.tuples(st.sampled_from(["putd", "putp", "pin",
+                                           "unpin", "inval"]),
+                          st.integers(0, 9), st.integers(1, 30)),
+                min_size=1, max_size=80))
+@settings(max_examples=200, deadline=None)
+def test_property_accounting_under_pin_churn(ops):
+    """Under arbitrary demand/prefetch insert, pin/unpin, and invalidate
+    churn: byte accounting stays exact, the prefetch budget is honoured,
+    and pinned entries are never evicted."""
+    c = DiskCache(Environment(), capacity=100, prefetch_share=0.4)
+    pinned = {}
+    for op, key, size in ops:
+        name = f"f{key}"
+        if op == "putd" or op == "putp":
+            kind = "demand" if op == "putd" else "prefetch"
+            before = {n for n in pinned if pinned[n] > 0}
+            try:
+                c.put(FileObject(name, float(size)), kind=kind)
+            except NoSpaceError:
+                pass
+            for n in before:           # pins survive any eviction pass
+                assert c.pin_count(n) == pinned[n]
+        elif op == "pin":
+            if c.kind(name) is not None:
+                c.pin(name)
+                pinned[name] = pinned.get(name, 0) + 1
+        elif op == "unpin":
+            if pinned.get(name, 0) > 0:
+                c.unpin(name)
+                pinned[name] -= 1
+        elif op == "inval":
+            if pinned.get(name, 0) == 0:
+                c.invalidate(name)
+    assert c.used == pytest.approx(
+        sum(e.size for e in c._entries.values()))
+    assert c.prefetch_used == pytest.approx(
+        sum(e.size for n, e in c._entries.items()
+            if c.kind(n) == "prefetch"))
+    assert c.prefetch_used <= c.prefetch_share * c.capacity + 1e-9
+    assert c.used <= c.capacity
