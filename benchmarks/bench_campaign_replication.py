@@ -1,0 +1,303 @@
+"""Verified, crash-resumable bulk replication at campaign scale.
+
+The paper's challenge problem is ultimately about *trustworthy* bulk
+movement: a climate archive mirrored across sites is worthless if
+silent corruption rides along, and a multi-hour campaign that restarts
+from file zero after a crash never finishes. This bench drives a
+campaign of >= 10^4 files (the "entire model run" scale of Section 2)
+through the journaled campaign engine with the full integrity pipeline
+on, while an interactive tenant keeps issuing single-file requests —
+and injects in-flight corruption windows, at-rest replica corruption,
+and one mid-campaign engine crash.
+
+Four runs:
+
+- ``interactive_baseline`` — the interactive tenant alone
+  (uncontended request latency to gate fairness against);
+- ``clean_verify_off``     — the campaign with digest verification
+  disabled (makespan floor);
+- ``clean_verify_on``      — the same campaign with verification on
+  (gates the verification overhead);
+- ``faulted``              — verification on, corruption windows on the
+  mirror's WAN path, at-rest corruption on sampled replicas, one
+  ``rm_crash`` mid-campaign, interactive tenant running throughout.
+
+Gates (the issue's acceptance criteria, asserted in-bench):
+
+- every campaign file ends VERIFIED; zero corrupted payloads remain on
+  the mirror's disk (undetected corruption == 0);
+- at least 1% of transfers hit a corruption and were caught;
+- exactly one crash and one resume; the resume re-transfers zero
+  VERIFIED files (``verified_retransfers == 0``);
+- digest verification costs <= 10% extra makespan over verify-off;
+- the interactive tenant's p95 latency under the faulted campaign
+  stays within 2x its uncontended baseline;
+- the journal replays idempotently (journal + journal == journal).
+
+Results land in ``BENCH_campaign_replication.json`` at the repo root.
+Set ``REPRO_CAMPAIGN_FILES=600`` (or any multiple of 24) for the
+reduced CI-smoke sweep; every gate except the absolute >= 10^4 file
+floor binds at whatever scale runs.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.campaign import CampaignJournal, ReplicationCampaign, plan_campaign
+from repro.data.digest import marks_of
+from repro.gridftp.protocol import GridFtpConfig
+from repro.net import FaultSchedule, mbps
+from repro.rm.scheduler import SchedulerConfig
+from repro.scenarios import EsgTestbed
+
+from benchmarks.conftest import record, run_once
+
+MB = 2**20
+SEED = 11
+FILE_SIZE = 1 * MB
+FILES_PER_YEAR = 24          # 2 datasets x 12 monthly files
+MIRROR_DOWNLINK = mbps(622)
+INTERACTIVE_PERIOD = 3.0
+BASELINE_SAMPLES = 40
+OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_campaign_replication.json"
+
+FULL_SCALE_FLOOR = 10_000
+CORRUPTION_GATE = 0.01       # >= 1% of transfers corrupted and caught
+OVERHEAD_GATE = 0.10         # verification <= 10% extra makespan
+P95_GATE = 2.0               # interactive p95 <= 2x uncontended
+
+
+def _files_target():
+    env_files = os.environ.get("REPRO_CAMPAIGN_FILES")
+    return int(env_files) if env_files else FULL_SCALE_FLOOR + 8
+
+
+def _build(verify):
+    years = max(1, -(-_files_target() // FILES_PER_YEAR))
+    # aging_rounds is raised well above the default: with hundreds of
+    # bulk flows per server, the default bound (4 bypasses) collapses
+    # the scheduler into seq-order FIFO and the interactive class waits
+    # behind the whole flood. 64 keeps bulk starvation-bounded while
+    # letting single-file tickets actually exercise their priority.
+    tb = EsgTestbed(
+        seed=SEED, years=years, with_tape=False,
+        file_size_override=FILE_SIZE,
+        scheduler=SchedulerConfig(per_server_cap=4,
+                                  max_queue_depth=2048,
+                                  aging_rounds=64))
+    tb.warm_nws(60.0)
+    manifest, replicas = plan_campaign(tb.replica_catalog)
+    rm = tb.add_client(
+        "mirror", downlink=MIRROR_DOWNLINK, latency=0.012,
+        config=GridFtpConfig(parallelism=2, verify_checksum=verify))
+    camp = ReplicationCampaign(tb.env, rm, manifest, replicas,
+                               max_inflight=6, batch_size=32,
+                               max_file_attempts=8, obs=tb.obs)
+    return tb, rm, manifest, camp
+
+
+def _interactive(tb, latencies, stop):
+    """Single-file requests on the desktop RM until ``stop()``."""
+    ds = tb.dataset_ids()[0]
+    names = [str(f["logical_name"]) for f in tb.datasets[ds]][:12]
+    i = 0
+    while not stop():
+        t0 = tb.env.now
+        ticket = tb.request_manager.submit([(ds, names[i % len(names)])])
+        yield ticket.done
+        if all(fr.state.value == "done" for fr in ticket.files):
+            latencies.append(tb.env.now - t0)
+        i += 1
+        yield tb.env.timeout(INTERACTIVE_PERIOD)
+
+
+def _p95(latencies):
+    if not latencies:
+        return None
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+
+def _estimated_makespan(manifest):
+    return manifest.total_bytes * 8 / MIRROR_DOWNLINK
+
+
+def _sweep_undetected(rm, manifest):
+    """Corrupted payloads still sitting on the mirror's disk."""
+    bad = 0
+    for entry in manifest:
+        if (rm.dest_fs.exists(entry.logical_file)
+                and marks_of(rm.dest_fs.stat(entry.logical_file))):
+            bad += 1
+    return bad
+
+
+def _journal_replays_idempotently(journal):
+    once = {f: (e.state, e.delivered_bytes)
+            for f, e in journal.replay().items()}
+    twice = {f: (e.state, e.delivered_bytes)
+             for f, e in journal.replay(
+                 journal.records + journal.records).items()}
+    round_trip = CampaignJournal.parse(journal.serialize())
+    return once == twice and round_trip.states() == journal.states()
+
+
+def _run_interactive_baseline():
+    tb, _rm, _manifest, _camp = _build(verify=False)
+    latencies = []
+    budget = BASELINE_SAMPLES
+
+    def stop():
+        return len(latencies) >= budget
+
+    p = tb.env.process(_interactive(tb, latencies, stop))
+    tb.env.run(until=p)
+    return {"samples": len(latencies),
+            "p95_s": round(_p95(latencies), 3),
+            "mean_s": round(sum(latencies) / len(latencies), 3)}
+
+
+def _run_campaign(verify, faults=False, interactive=False):
+    tb, rm, manifest, camp = _build(verify=verify)
+    m_est = _estimated_makespan(manifest)
+    if faults:
+        # In-flight corruption: three windows on the mirror's WAN path,
+        # together ~6% of the estimated makespan (amplified by retries,
+        # comfortably above the 1% caught-corruption gate).
+        window = max(1.0, 0.02 * m_est)
+        sched = FaultSchedule()
+        for frac in (0.15, 0.50, 0.65):
+            sched.corrupt_transfer("wan-mirror:rev", frac * m_est, window)
+        # At-rest corruption on one replica of every 200th file (another
+        # clean replica always remains, so the campaign can heal).
+        for i, entry in enumerate(manifest.entries):
+            if i % 200 == 0:
+                locs = camp.replicas[(entry.collection,
+                                      entry.logical_file)]
+                if len(locs) >= 2:
+                    sched.corrupt_replica(locs[0].hostname,
+                                          entry.logical_file,
+                                          1.0, 1.0)
+        # One engine crash mid-campaign.
+        sched.rm_crash("campaign", 0.30 * m_est,
+                       max(5.0, 0.05 * m_est))
+        tb.fault_injector(crashables={"campaign": camp}).install(sched)
+
+    latencies = []
+    if interactive:
+        tb.env.process(_interactive(tb, latencies,
+                                    lambda: camp.done.triggered))
+    t0 = tb.env.now
+    camp.start()
+    p = tb.env.process(camp.wait())
+    tb.env.run(until=p)
+    report = p.value
+    row = {
+        "files": report["files"],
+        "gib": round(report["bytes_total"] / 2**30, 2),
+        "makespan_s": round(report["makespan"], 1),
+        "states": report["states"],
+        "verify_seconds": round(report["verify_seconds"], 1),
+        "corruptions_caught": report["corruptions_caught"],
+        "verified_retransfers": report["verified_retransfers"],
+        "bytes_retransferred_mib": round(
+            report["bytes_retransferred"] / MB, 1),
+        "crashes": report["crashes"],
+        "resumes": report["resumes"],
+        "journal_records": report["journal_records"],
+        "undetected_corruptions": _sweep_undetected(rm, manifest),
+        "journal_idempotent": _journal_replays_idempotently(camp.journal),
+        "wall_start": t0,
+    }
+    if interactive:
+        row["interactive_samples"] = len(latencies)
+        row["interactive_p95_s"] = round(_p95(latencies), 3)
+    return row
+
+
+def test_campaign_replication(benchmark, show):
+    def experiment():
+        return {
+            "interactive_baseline": _run_interactive_baseline(),
+            "clean_verify_off": _run_campaign(verify=False),
+            "clean_verify_on": _run_campaign(verify=True),
+            "faulted": _run_campaign(verify=True, faults=True,
+                                     interactive=True),
+        }
+
+    results = run_once(benchmark, experiment)
+    base = results["interactive_baseline"]
+    off = results["clean_verify_off"]
+    on = results["clean_verify_on"]
+    faulted = results["faulted"]
+    files = faulted["files"]
+    overhead = (on["makespan_s"] - off["makespan_s"]) / off["makespan_s"]
+    p95_ratio = faulted["interactive_p95_s"] / base["p95_s"]
+
+    show()
+    show(f"=== Verified bulk replication campaign ({files} files, "
+         f"{faulted['gib']} GiB) ===")
+    show(f"  {'run':>18} {'makespan(s)':>12} {'verify(s)':>10} "
+         f"{'caught':>7} {'states':>24}")
+    for label in ("clean_verify_off", "clean_verify_on", "faulted"):
+        r = results[label]
+        show(f"  {label:>18} {r['makespan_s']:>12.1f} "
+             f"{r['verify_seconds']:>10.1f} "
+             f"{r['corruptions_caught']:>7} {str(r['states']):>24}")
+    show(f"  verification overhead: {overhead * 100:.1f}% "
+         f"(gate <= {OVERHEAD_GATE * 100:.0f}%)")
+    show(f"  interactive p95: {faulted['interactive_p95_s']:.3f}s vs "
+         f"{base['p95_s']:.3f}s uncontended "
+         f"({p95_ratio:.2f}x, gate <= {P95_GATE:.0f}x)")
+    show(f"  faulted: crashes={faulted['crashes']} "
+         f"resumes={faulted['resumes']} "
+         f"verified_retransfers={faulted['verified_retransfers']} "
+         f"retransferred={faulted['bytes_retransferred_mib']:.0f} MiB")
+    show(f"  undetected corruptions: "
+         f"{faulted['undetected_corruptions']} (gate == 0)")
+
+    OUT_PATH.write_text(json.dumps({
+        "workload": {
+            "seed": SEED, "files": files,
+            "file_size_mib": FILE_SIZE // MB,
+            "mirror_downlink_mbps": 622,
+            "per_server_cap": 4,
+            "interactive_period_s": INTERACTIVE_PERIOD,
+        },
+        "gates": {
+            "corruption_fraction": CORRUPTION_GATE,
+            "verify_overhead": OVERHEAD_GATE,
+            "interactive_p95_ratio": P95_GATE,
+        },
+        "results": results,
+        "derived": {
+            "verify_overhead": round(overhead, 4),
+            "interactive_p95_ratio": round(p95_ratio, 3),
+        },
+    }, indent=2) + "\n")
+    record(benchmark, results=results, verify_overhead=overhead,
+           p95_ratio=p95_ratio)
+
+    # -- gates ---------------------------------------------------------------
+    if not os.environ.get("REPRO_CAMPAIGN_FILES"):
+        assert files >= FULL_SCALE_FLOOR
+    for label in ("clean_verify_off", "clean_verify_on", "faulted"):
+        r = results[label]
+        assert r["states"] == {"verified": files}, (
+            f"{label}: not every file verified: {r['states']}")
+        assert r["undetected_corruptions"] == 0, (
+            f"{label}: corrupted payload left on the mirror disk")
+        assert r["journal_idempotent"], f"{label}: journal replay drifted"
+    assert on["verify_seconds"] > 0.0
+    assert overhead <= OVERHEAD_GATE, (
+        f"verification overhead {overhead * 100:.1f}% over gate")
+    assert faulted["corruptions_caught"] >= CORRUPTION_GATE * files, (
+        f"only {faulted['corruptions_caught']} corruptions caught "
+        f"({files} files): fault windows too small to exercise the "
+        f"pipeline")
+    assert faulted["crashes"] == 1 and faulted["resumes"] == 1
+    assert faulted["verified_retransfers"] == 0, (
+        "resume re-transferred a VERIFIED file")
+    assert p95_ratio <= P95_GATE, (
+        f"interactive p95 degraded {p95_ratio:.2f}x under the campaign")

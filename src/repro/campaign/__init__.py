@@ -1,0 +1,44 @@
+"""Verified, crash-resumable bulk replication campaigns.
+
+The paper's challenge problem is moving *collections* — "a dozen
+multi-gigabyte files in a few hours" scaled up to entire model runs —
+not single files. This package adds the campaign layer above the
+request manager:
+
+- :mod:`repro.campaign.manifest` — batched campaign planning: one
+  catalog sweep resolves every (file, replica-set) pair of a
+  multi-dataset manifest, instead of 10⁴ timed per-file LDAP queries;
+- :mod:`repro.campaign.journal` — an append-only, idempotently
+  replayable per-file state journal (the durable artifact a crashed
+  campaign engine resumes from);
+- :mod:`repro.campaign.engine` — the campaign driver: feeds bounded
+  batches through a :class:`~repro.rm.manager.RequestManager` (bulk
+  priority class, shared transfer scheduler), journals every per-file
+  transition via RM lifecycle hooks, survives ``rm_crash`` fault
+  injection by replaying the journal, and never re-transfers a file
+  the journal already shows VERIFIED.
+"""
+
+from repro.campaign.engine import ReplicationCampaign
+from repro.campaign.journal import (
+    CampaignJournal,
+    CampaignState,
+    JournalRecord,
+    ReplayEntry,
+)
+from repro.campaign.manifest import (
+    CampaignManifest,
+    ManifestEntry,
+    plan_campaign,
+)
+
+__all__ = [
+    "CampaignJournal",
+    "CampaignManifest",
+    "CampaignState",
+    "JournalRecord",
+    "ManifestEntry",
+    "ReplayEntry",
+    "ReplicationCampaign",
+    "plan_campaign",
+]

@@ -1,0 +1,191 @@
+"""The campaign journal: append-only, idempotently replayable state.
+
+A replication campaign's only durable artifact is its journal — an
+append-only sequence of per-file state transitions. The engine holds no
+recovery-relevant state anywhere else: a crash writes nothing, and
+resume is exactly ``replay()`` over whatever records made it in before
+the crash.
+
+Design rules the property suite (tests/campaign/test_journal.py) pins:
+
+- **Monotone state machine** — a record is *applied* only if the
+  per-file transition is in :data:`ALLOWED`; anything else is ignored
+  (returned as ``None`` from :meth:`CampaignJournal.append`, skipped by
+  :meth:`CampaignJournal.replay`). VERIFIED and FAILED are terminal
+  (FAILED can be re-opened to PENDING by an operator record; VERIFIED
+  can never regress).
+- **Idempotent replay** — every record carries a globally increasing
+  ``seq``; replay ignores any record whose seq is not greater than the
+  last seq applied for that file. Replaying a journal twice (or
+  replaying a concatenation of the journal with itself) yields the
+  same per-file state and the same byte totals as replaying it once.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+class CampaignState(enum.Enum):
+    """Per-file campaign lifecycle."""
+
+    PENDING = "pending"            # planned, not yet attempted
+    IN_FLIGHT = "in-flight"        # a transfer attempt is running
+    DELIVERED = "delivered"        # bytes landed, digest not yet checked
+    VERIFIED = "verified"          # digest matched the catalog (terminal)
+    QUARANTINED = "quarantined"    # digest mismatch; source quarantined
+    FAILED = "failed"              # gave up after max attempts (terminal)
+
+
+#: terminal states — a resumed campaign never re-queues these
+TERMINAL = (CampaignState.VERIFIED, CampaignState.FAILED)
+
+#: allowed transitions; ``None`` (no prior record) may enter any state.
+ALLOWED: Dict[CampaignState, frozenset] = {
+    CampaignState.PENDING: frozenset({CampaignState.IN_FLIGHT,
+                                      CampaignState.FAILED}),
+    CampaignState.IN_FLIGHT: frozenset({CampaignState.DELIVERED,
+                                        CampaignState.QUARANTINED,
+                                        CampaignState.PENDING,
+                                        CampaignState.FAILED}),
+    CampaignState.DELIVERED: frozenset({CampaignState.VERIFIED,
+                                        CampaignState.QUARANTINED,
+                                        CampaignState.PENDING}),
+    CampaignState.QUARANTINED: frozenset({CampaignState.IN_FLIGHT,
+                                          CampaignState.PENDING,
+                                          CampaignState.FAILED}),
+    CampaignState.VERIFIED: frozenset(),
+    CampaignState.FAILED: frozenset({CampaignState.PENDING}),
+}
+
+
+def transition_allowed(current: Optional[CampaignState],
+                       new: CampaignState) -> bool:
+    """True if a file in ``current`` state may record ``new``."""
+    if current is None:
+        return True
+    return new in ALLOWED[current]
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One applied state transition."""
+
+    seq: int                 # globally increasing within the journal
+    t: float                 # sim time the transition was recorded
+    file: str                # campaign file key (collection|logical_file)
+    state: CampaignState
+    nbytes: float = 0.0      # bytes moved by this transition (DELIVERED)
+    location: str = ""       # replica location involved, if any
+    note: str = ""           # free-form cause ("resume", "size-only", ...)
+
+
+@dataclass
+class ReplayEntry:
+    """Folded per-file view produced by :meth:`CampaignJournal.replay`."""
+
+    state: Optional[CampaignState] = None
+    delivered_bytes: float = 0.0   # sum of applied DELIVERED nbytes
+    last_seq: int = -1
+    records: int = 0               # applied (not ignored) records
+
+
+class CampaignJournal:
+    """Append-only per-file state journal with idempotent replay."""
+
+    def __init__(self) -> None:
+        self.records: List[JournalRecord] = []
+        self._state: Dict[str, CampaignState] = {}
+        self._seq = 0
+        self.ignored = 0  # appends rejected by the transition rules
+
+    def append(self, file: str, state: CampaignState, t: float,
+               nbytes: float = 0.0, location: str = "",
+               note: str = "") -> Optional[JournalRecord]:
+        """Record a transition; returns the record, or ``None`` if the
+        transition is not allowed from the file's current state (the
+        journal is left untouched — illegal transitions never land)."""
+        if not transition_allowed(self._state.get(file), state):
+            self.ignored += 1
+            return None
+        self._seq += 1
+        record = JournalRecord(self._seq, t, file, state,
+                               nbytes=float(nbytes), location=location,
+                               note=note)
+        self.records.append(record)
+        self._state[file] = state
+        return record
+
+    def state(self, file: str) -> Optional[CampaignState]:
+        """Current journaled state of ``file`` (None = never recorded)."""
+        return self._state.get(file)
+
+    def states(self) -> Dict[str, CampaignState]:
+        """Snapshot of every file's current state."""
+        return dict(self._state)
+
+    def replay(self, records: Optional[Iterable[JournalRecord]] = None
+               ) -> Dict[str, ReplayEntry]:
+        """Fold records into per-file state, exactly as recovery does.
+
+        Ignores per-file duplicates (seq not greater than the last seq
+        applied for that file) and transitions the state machine
+        forbids, so replaying a journal twice — or a concatenation of a
+        journal with any prefix of itself — equals replaying it once.
+        """
+        out: Dict[str, ReplayEntry] = {}
+        for rec in (self.records if records is None else records):
+            entry = out.setdefault(rec.file, ReplayEntry())
+            if rec.seq <= entry.last_seq:
+                continue  # duplicate delivery of an already-applied record
+            if not transition_allowed(entry.state, rec.state):
+                continue
+            entry.state = rec.state
+            entry.last_seq = rec.seq
+            entry.records += 1
+            if rec.state is CampaignState.DELIVERED:
+                entry.delivered_bytes += rec.nbytes
+        return out
+
+    # -- persistence ---------------------------------------------------------
+    def serialize(self) -> str:
+        """JSON-lines form of the journal (one record per line)."""
+        lines = []
+        for rec in self.records:
+            lines.append(json.dumps({
+                "seq": rec.seq, "t": rec.t, "file": rec.file,
+                "state": rec.state.value, "nbytes": rec.nbytes,
+                "location": rec.location, "note": rec.note}))
+        return "\n".join(lines)
+
+    @classmethod
+    def parse(cls, text: str) -> "CampaignJournal":
+        """Rebuild a journal from its :meth:`serialize` form."""
+        journal = cls()
+        records = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            d = json.loads(line)
+            records.append(JournalRecord(
+                int(d["seq"]), float(d["t"]), d["file"],
+                CampaignState(d["state"]), nbytes=float(d["nbytes"]),
+                location=d.get("location", ""), note=d.get("note", "")))
+        records.sort(key=lambda r: r.seq)
+        replayed = journal.replay(records)
+        journal.records = records
+        journal._state = {f: e.state for f, e in replayed.items()
+                          if e.state is not None}
+        journal._seq = max((r.seq for r in records), default=0)
+        return journal
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return (f"CampaignJournal({len(self.records)} records, "
+                f"{len(self._state)} files)")

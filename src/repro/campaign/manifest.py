@@ -1,0 +1,80 @@
+"""Campaign planning: batched manifest + replica resolution.
+
+The request manager's per-file pipeline issues one timed LDAP query per
+file (``find_replicas``); at campaign scale (≥10⁴ files) that is both a
+simulated-latency tax and an O(files × catalog) wall-clock tax. The
+planner instead sweeps each collection's ``locations()`` once,
+derives every file's replica set from the location filename lists, and
+hands the request manager pre-resolved locations via
+``submit(..., resolved=...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.replica.catalog import LocationInfo, ReplicaCatalog
+
+
+@dataclass(frozen=True)
+class ManifestEntry:
+    """One file the campaign must replicate."""
+
+    collection: str
+    logical_file: str
+    size: float
+    digest: Optional[str] = None   # publish-time digest, if registered
+
+    @property
+    def key(self) -> str:
+        """Journal key (collection-qualified, unique campaign-wide)."""
+        return f"{self.collection}|{self.logical_file}"
+
+
+class CampaignManifest:
+    """An ordered list of :class:`ManifestEntry`."""
+
+    def __init__(self, entries: Iterable[ManifestEntry]):
+        self.entries: List[ManifestEntry] = list(entries)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(e.size for e in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __repr__(self) -> str:
+        return (f"CampaignManifest({len(self.entries)} files, "
+                f"{self.total_bytes / 2**30:.1f} GiB)")
+
+
+def plan_campaign(catalog: ReplicaCatalog,
+                  collections: Optional[Iterable[str]] = None
+                  ) -> Tuple[CampaignManifest,
+                             Dict[Tuple[str, str], List[LocationInfo]]]:
+    """Resolve a multi-dataset campaign in one batched catalog sweep.
+
+    Returns ``(manifest, replicas)`` where ``replicas`` maps
+    (collection, logical_file) → the locations holding that file —
+    ready to pass to ``RequestManager.submit(..., resolved=replicas)``.
+    """
+    if collections is None:
+        collections = [c.name for c in catalog.collections()]
+    entries: List[ManifestEntry] = []
+    replicas: Dict[Tuple[str, str], List[LocationInfo]] = {}
+    for coll in collections:
+        locs = catalog.locations(coll)
+        holders = [(loc, frozenset(loc.files)) for loc in locs]
+        names = sorted({f for loc in locs for f in loc.files})
+        for lf in names:
+            size = catalog.logical_file_size(coll, lf) or 0.0
+            digest = catalog.logical_file_digest(coll, lf)
+            entries.append(ManifestEntry(coll, lf, size, digest))
+            replicas[(coll, lf)] = [loc for loc, files in holders
+                                    if lf in files]
+    return CampaignManifest(entries), replicas

@@ -21,6 +21,13 @@ provides:
 from repro.data.variables import Dataset, DataError, Variable
 from repro.data.ncformat import FormatError, decode, decode_header, encode
 from repro.data.grids import GridSpec
+from repro.data.digest import (
+    add_mark,
+    content_digest,
+    file_digest,
+    is_pristine,
+    marks_of,
+)
 from repro.data.synth import (
     ClimateModelRun,
     SyntheticArchive,
@@ -35,8 +42,13 @@ __all__ = [
     "GridSpec",
     "SyntheticArchive",
     "Variable",
+    "add_mark",
+    "content_digest",
     "decode",
     "decode_header",
     "encode",
+    "file_digest",
+    "is_pristine",
+    "marks_of",
     "monthly_files",
 ]

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.data.digest import MARKS_KEY
 from repro.gridftp.channels import DataChannelCache
 from repro.gridftp.protocol import (
     CANT_OPEN_DATA,
@@ -58,6 +59,10 @@ class TransferHandle:
         # True when this transfer started against a still-staging file
         # (stage/transfer cut-through).
         self.cutthrough = False
+        # Integrity marks picked up in flight: one entry per block that
+        # completed while a corrupt-transfer fault window was open on
+        # the path. A non-empty list means the delivered file is bad.
+        self.taints: List[str] = []
 
     def bytes_done(self) -> float:
         """Bytes delivered so far (live flows included)."""
@@ -112,6 +117,13 @@ class ClientSession:
         """Simulation process: probe for a file (SIZE that may 550)."""
         yield from self._command()
         return self.server.exists(path)
+
+    def cksm(self, path: str):
+        """Simulation process: CKSM — the server scans the file (disk
+        read + hash CPU, cost-modeled) and returns its content digest."""
+        yield from self._command()
+        digest = yield from self.server.cksm(path)
+        return digest
 
     def close(self) -> None:
         """Tear down the control connection and free the server slot."""
@@ -172,7 +184,16 @@ class ClientSession:
         # 226 closing data connection.
         yield from self._command()
         name = dest_name or path
-        dest_fs.create(name, nbytes, content=content, overwrite=True)
+        delivered = dest_fs.create(name, nbytes, content=content,
+                                   overwrite=True)
+        # Integrity propagation: the delivered copy inherits the source
+        # replica's at-rest marks plus any in-flight taints. The marks
+        # change the file's digest — only verification can see them.
+        marks = (tuple(self.server.integrity_marks(path))
+                 + tuple(handle.taints))
+        if marks:
+            delivered.metadata[MARKS_KEY] = marks
+        stats.tainted_blocks = len(handle.taints)
         self.server.finish_retrieve(path, nbytes)
         stats.finished_at = env.now
         handle._completed = nbytes
@@ -214,10 +235,17 @@ class ClientSession:
         is a hard per-channel ceiling the TCP window cannot exceed.
         """
         moved = 0.0
+        # Corrupt-transfer windows: the fluid model has no per-byte
+        # stream to flip bits in, so corruption is sampled at block
+        # granularity — a block whose flow starts or completes inside an
+        # open window on any path link arrives damaged.
+        path_links = conn.transport.network.topology.path(conn.src,
+                                                          conn.dst)
         while queue:
             offset, block = queue.pop()
             rec = (RateRecorder(f"gridftp:{path}")
                    if series_out is not None else None)
+            suspect = any(l.corrupting for l in path_links)
             try:
                 flow = conn.transport.network.transfer(
                     conn.src, conn.dst, block,
@@ -240,6 +268,13 @@ class ClientSession:
                 handle._active_flows.remove(flow)
                 handle._completed += block
                 markers.add(offset, offset + block)
+                if suspect or any(l.corrupting for l in path_links):
+                    handle.taints.append(
+                        f"xfer@{self.env.now:.3f}+{offset:.0f}")
+                    obs = self.client.obs
+                    if obs is not None:
+                        obs.count("gridftp.tainted_blocks_total",
+                                  host=self.server.hostname)
                 if rec is not None and not rec.is_empty:
                     series_out.append(rec.close(self.env.now))
             except FlowError as exc:

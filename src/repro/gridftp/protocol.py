@@ -107,6 +107,16 @@ class GridFtpConfig:
         whole file. Must be in (0, 1]: a strictly positive watermark
         guarantees the stage (and its cache pin) completes before the
         rate-capped transfer can drain the last byte.
+    verify_checksum:
+        When True, the request manager re-computes every delivered
+        file's digest and compares it against the catalog's
+        publish-time digest; a mismatch quarantines the replica and
+        re-transfers from another copy. False (the default) preserves
+        the trusting pre-integrity behaviour.
+    checksum_rate:
+        Bytes/s a checksum scan processes (the disk-read + CPU-hash
+        pipeline); used by both the client-side verify-on-arrival scan
+        and the server's CKSM command.
     """
 
     parallelism: int = 1
@@ -120,6 +130,8 @@ class GridFtpConfig:
     fallback_bandwidth: float = 125000.0  # 1 Mb/s
     fallback_latency: float = 0.1
     stage_watermark: Optional[float] = None
+    verify_checksum: bool = False
+    checksum_rate: float = 150 * 2**20
 
     def __post_init__(self) -> None:
         if self.parallelism < 1:
@@ -139,6 +151,8 @@ class GridFtpConfig:
         if self.stage_watermark is not None \
                 and not (0.0 < self.stage_watermark <= 1.0):
             raise ValueError("stage_watermark must be in (0, 1]")
+        if self.checksum_rate <= 0:
+            raise ValueError("checksum_rate must be positive")
 
 
 @dataclass
@@ -155,6 +169,9 @@ class TransferStats:
     restarts: int = 0
     replica_switches: int = 0
     channel_reused: bool = False
+    # Blocks that completed while a corrupt-transfer fault window was
+    # open on the path (the delivered file carries integrity marks).
+    tainted_blocks: int = 0
     faults: list = field(default_factory=list)
     # RestartMarkers recorded by the block pump (byte ranges delivered);
     # None for transfers that never entered the pump.

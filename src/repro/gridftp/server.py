@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.data.digest import add_mark, file_digest, marks_of
 from repro.gridftp.protocol import (
     ACTION_NOT_TAKEN,
     FILE_UNAVAILABLE,
@@ -52,6 +53,8 @@ class GridFtpServer:
         queued, so client-side admission control (the transfer
         scheduler) is observable against a hard server limit. ``None``
         (the default) accepts everything.
+    checksum_rate:
+        Bytes/s the CKSM command scans at (disk read + hash CPU).
     """
 
     def __init__(self, env: Environment, host: Host, filesystem: FileSystem,
@@ -59,9 +62,12 @@ class GridFtpServer:
                  credential_chain: tuple = (),
                  hrm: Optional[HierarchicalResourceManager] = None,
                  hostname: Optional[str] = None, obs=None,
-                 max_connections: Optional[int] = None):
+                 max_connections: Optional[int] = None,
+                 checksum_rate: float = 150 * 2**20):
         if max_connections is not None and max_connections < 1:
             raise ValueError("max_connections must be >= 1 when set")
+        if checksum_rate <= 0:
+            raise ValueError("checksum_rate must be positive")
         self.env = env
         self.host = host
         self.fs = filesystem
@@ -85,6 +91,8 @@ class GridFtpServer:
         # still-growing file and claimed synchronously by the client.
         self._pending_rate_caps: Dict[str, list] = {}
         self.cutthrough_served = 0
+        self.checksum_rate = float(checksum_rate)
+        self.checksums_served = 0
 
     # -- connection limiting ----------------------------------------------
     def try_accept(self) -> bool:
@@ -178,6 +186,63 @@ class GridFtpServer:
         """SIZE: the file's byte count (64-bit — no 2 GB ceiling)."""
         file = self._find(path)
         return file.size
+
+    def cksm(self, path: str):
+        """CKSM: the file's content digest (simulation process).
+
+        Cost-modeled as a full disk+CPU scan at ``checksum_rate``.
+        MSS-resident files stage through the HRM first, and the stage's
+        cache pin is held for the entire scan so cache churn cannot
+        evict the bytes mid-checksum.
+        """
+        if not self.up:
+            raise GridFtpError(FtpReply(
+                ACTION_NOT_TAKEN, f"server {self.hostname} is down"))
+        if self.hrm is not None and self.hrm.mss.has(path):
+            try:
+                req = self.hrm.request_stage(path)
+                file = yield req.ready
+            except StagingError as exc:
+                raise GridFtpError(FtpReply(
+                    ACTION_NOT_TAKEN, f"{path}: staging failed: {exc}")) \
+                    from exc
+            try:
+                yield self.env.timeout(file.size / self.checksum_rate)
+            finally:
+                self.hrm.release(path)
+        else:
+            if not self.fs.exists(path):
+                raise GridFtpError(FtpReply(
+                    FILE_UNAVAILABLE, f"{path}: no such file"))
+            file = self.fs.stat(path)
+            yield self.env.timeout(file.size / self.checksum_rate)
+        self.checksums_served += 1
+        if self.obs is not None:
+            self.obs.count("gridftp.checksums_total", host=self.hostname)
+        return file_digest(file)
+
+    def integrity_marks(self, path: str) -> tuple:
+        """Corruption marks on the served copy of ``path`` (() = pristine
+        or unknown). Free to call: metadata, not a scan."""
+        try:
+            return marks_of(self._find(path))
+        except GridFtpError:
+            return ()
+
+    def corrupt_file(self, path: str, tag: str = "at-rest") -> FileObject:
+        """Fault injection: silently damage the served copy of ``path``.
+
+        Appends an integrity mark, which changes the file's digest —
+        only a checksum scan can tell the copy has gone bad.
+        """
+        file = self._find(path)
+        add_mark(file, tag)
+        if self.obs is not None:
+            self.obs.event("gridftp.replica.corrupted", prog="gridftp",
+                           host=self.hostname, file=path, tag=tag)
+            self.obs.count("gridftp.replica_corruptions_total",
+                           host=self.hostname)
+        return file
 
     def exists(self, path: str) -> bool:
         """True if this server can produce ``path`` (disk or tape)."""

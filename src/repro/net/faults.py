@@ -14,7 +14,23 @@ Beyond the data plane, the schedule can express *control-plane* faults:
 - ``directory`` — an LDAP directory backing the replica catalog or MDS
   becomes unavailable for a window (lookups raise, or hang until the
   window ends, per ``mode``);
-- ``hrm`` — an HRM/tape system fails mid-stage and later recovers.
+- ``hrm`` — an HRM/tape system fails mid-stage and later recovers;
+- ``rm`` — a request-manager-like process (e.g. a replication campaign
+  engine) is killed mid-run and restarted later, exercising journal
+  replay and resume.
+
+And *integrity* faults — the silent-corruption failure modes the EU
+DataGrid operations report names as dominant in practice:
+
+- ``corrupt`` — an in-flight bit-flip window on one link: blocks
+  delivered while the window is open arrive corrupted (the client
+  marks the delivered file; capacity is untouched — corruption is
+  silent);
+- ``corrupt_replica`` — bad bytes at rest: one file on one server is
+  corrupted in place at the window start (and stays corrupt — disks do
+  not heal);
+- ``truncate_stage`` — the HRM delivers short files: stages completing
+  inside the window publish a wrong-content copy to the serving disk.
 
 Link state is reference-counted (see :class:`~repro.net.topology.Link`),
 so overlapping outage and degrade windows on the same link compose
@@ -23,6 +39,7 @@ instead of the first ``restore()`` silently returning it to nominal.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Literal, Optional
 
@@ -30,26 +47,30 @@ from repro.net.dns import NameService
 from repro.net.fluid import FluidNetwork
 from repro.sim.core import Environment
 
-FaultKind = Literal["link", "site", "dns", "degrade",
-                    "server", "directory", "hrm"]
+FaultKind = Literal["link", "site", "dns", "degrade", "corrupt",
+                    "server", "directory", "hrm", "rm",
+                    "corrupt_replica", "truncate_stage"]
 
 #: kinds whose targets live outside the topology
-_CONTROL_KINDS = ("server", "directory", "hrm")
+_CONTROL_KINDS = ("server", "directory", "hrm", "rm",
+                  "corrupt_replica", "truncate_stage")
 
 
 @dataclass(frozen=True)
 class Fault:
     """One scheduled incident.
 
-    ``target`` names a link (kind="link"/"degrade"), a site
+    ``target`` names a link (kind="link"/"degrade"/"corrupt"), a site
     (kind="site" — every link whose ``site`` matches goes down), a
-    GridFTP hostname (kind="server"), a directory service
-    (kind="directory"), an HRM (kind="hrm"), or is ignored
+    GridFTP hostname (kind="server"/"corrupt_replica"), a directory
+    service (kind="directory"), an HRM (kind="hrm"/"truncate_stage"), a
+    crashable registered with the injector (kind="rm"), or is ignored
     (kind="dns"). ``fraction`` applies to "degrade": remaining capacity
     as a fraction of nominal. ``mode`` applies to "directory": "fail"
     makes lookups raise, "hang" makes them block until the window ends.
-    ``start`` is measured from the moment the schedule is installed (not
-    absolute simulation time).
+    ``path`` applies to "corrupt_replica": the file corrupted on the
+    target server. ``start`` is measured from the moment the schedule
+    is installed (not absolute simulation time).
     """
 
     kind: FaultKind
@@ -58,17 +79,27 @@ class Fault:
     duration: float
     fraction: float = 0.0
     mode: str = "fail"
+    path: str = ""
     description: str = ""
 
     def __post_init__(self) -> None:
+        # Reject non-finite values too: NaN compares False against
+        # everything, so a bare `start < 0` check silently accepts a
+        # fault that would then corrupt the injector's timeline.
+        if not (math.isfinite(self.start) and math.isfinite(self.duration)):
+            raise ValueError("fault start/duration must be finite")
         if self.start < 0 or self.duration <= 0:
             raise ValueError("fault needs start >= 0 and duration > 0")
-        if self.kind == "degrade" and not (0.0 <= self.fraction < 1.0):
+        if self.kind == "degrade" and not (
+                math.isfinite(self.fraction)
+                and 0.0 <= self.fraction < 1.0):
             raise ValueError("degrade fraction must be in [0, 1)")
         if self.mode not in ("fail", "hang"):
             raise ValueError("fault mode must be 'fail' or 'hang'")
         if self.kind in _CONTROL_KINDS and not self.target:
             raise ValueError(f"{self.kind} fault needs a target name")
+        if self.kind == "corrupt_replica" and not self.path:
+            raise ValueError("corrupt_replica fault needs a file path")
 
 
 @dataclass
@@ -134,6 +165,43 @@ class FaultSchedule:
                                  description=description))
         return self
 
+    def corrupt_transfer(self, link: str, start: float, duration: float,
+                         description: str = "") -> "FaultSchedule":
+        """In-flight bit-flip window on one link: blocks delivered while
+        the window is open arrive corrupted (capacity untouched)."""
+        self.faults.append(Fault("corrupt", link, start, duration,
+                                 description=description))
+        return self
+
+    def corrupt_replica(self, hostname: str, path: str, start: float,
+                        duration: float,
+                        description: str = "") -> "FaultSchedule":
+        """Corrupt one file at rest on ``hostname`` at the window start.
+
+        The corruption is persistent (disks do not heal); ``duration``
+        only scopes the observability span.
+        """
+        self.faults.append(Fault("corrupt_replica", hostname, start,
+                                 duration, path=path,
+                                 description=description))
+        return self
+
+    def truncate_stage(self, hrm: str, start: float, duration: float,
+                       description: str = "") -> "FaultSchedule":
+        """HRM delivers short files: stages completing inside the window
+        publish a wrong-content copy to the serving disk."""
+        self.faults.append(Fault("truncate_stage", hrm, start, duration,
+                                 description=description))
+        return self
+
+    def rm_crash(self, name: str, start: float, duration: float,
+                 description: str = "") -> "FaultSchedule":
+        """Kill a registered crashable (e.g. a campaign engine) at
+        ``start``; restart it ``duration`` seconds later."""
+        self.faults.append(Fault("rm", name, start, duration,
+                                 description=description))
+        return self
+
     def __len__(self) -> int:
         return len(self.faults)
 
@@ -143,9 +211,12 @@ class FaultInjector:
 
     ``servers`` maps hostname → :class:`~repro.gridftp.server.GridFtpServer`
     (usually the RM's registry), ``directories`` maps a label (e.g.
-    "catalog", "mds") → a directory server exposing ``add_outage``, and
-    ``hrms`` maps name → :class:`~repro.storage.hrm.HierarchicalResourceManager`.
-    Only the maps a schedule actually targets need to be supplied.
+    "catalog", "mds") → a directory server exposing ``add_outage``,
+    ``hrms`` maps name → :class:`~repro.storage.hrm.HierarchicalResourceManager`,
+    and ``crashables`` maps a label → any object exposing
+    ``crash()``/``restart()`` (the "rm" kind — e.g. a
+    :class:`~repro.campaign.engine.ReplicationCampaign`). Only the maps
+    a schedule actually targets need to be supplied.
     """
 
     def __init__(self, env: Environment, network: FluidNetwork,
@@ -153,6 +224,7 @@ class FaultInjector:
                  servers: Optional[Dict[str, object]] = None,
                  directories: Optional[Dict[str, object]] = None,
                  hrms: Optional[Dict[str, object]] = None,
+                 crashables: Optional[Dict[str, object]] = None,
                  obs=None):
         self.env = env
         self.network = network
@@ -160,6 +232,7 @@ class FaultInjector:
         self.servers = servers or {}
         self.directories = directories or {}
         self.hrms = hrms or {}
+        self.crashables = crashables or {}
         self.obs = obs          # optional repro.obs.Observability bundle
         self.log: List[tuple] = []  # (time, action, description)
 
@@ -228,6 +301,26 @@ class FaultInjector:
                 if fault.target not in self.hrms:
                     raise KeyError(f"unknown hrm {fault.target!r}")
                 self.env.process(self._run_hrm_fault(fault))
+                continue
+            if fault.kind == "truncate_stage":
+                if fault.target not in self.hrms:
+                    raise KeyError(f"unknown hrm {fault.target!r}")
+                self.env.process(self._run_truncate_fault(fault))
+                continue
+            if fault.kind == "rm":
+                if fault.target not in self.crashables:
+                    raise KeyError(f"unknown crashable {fault.target!r}")
+                self.env.process(self._run_rm_fault(fault))
+                continue
+            if fault.kind == "corrupt_replica":
+                if fault.target not in self.servers:
+                    raise KeyError(f"unknown server {fault.target!r}")
+                self.env.process(self._run_corrupt_replica_fault(fault))
+                continue
+            if fault.kind == "corrupt":
+                if fault.target not in self.network.topology.links:
+                    raise KeyError(f"unknown link {fault.target!r}")
+                self.env.process(self._run_corrupt_fault(fault))
                 continue
             # link/site/degrade: validate the target eagerly so a typo
             # raises at install time, not mid-simulation.
@@ -301,5 +394,72 @@ class FaultInjector:
         yield self.env.timeout(fault.duration)
         hrm.restore()
         self.log.append((self.env.now, "hrm restored",
+                         fault.description or fault.target))
+        self._fault_end(fault, span)
+
+    def _run_corrupt_fault(self, fault: Fault):
+        # Capacity is untouched, so no link_updated/reallocation: the
+        # corruption is silent at the network layer and only visible to
+        # the integrity pipeline sampling Link.corrupting per block.
+        link = self.network.topology.links[fault.target]
+        if fault.start > 0:
+            yield self.env.timeout(fault.start)
+        link.corrupt_hold()
+        self.log.append((self.env.now, "corrupt window open",
+                         fault.description or fault.target))
+        span = self._fault_begin(fault)
+        yield self.env.timeout(fault.duration)
+        link.release_corrupt()
+        self.log.append((self.env.now, "corrupt window closed",
+                         fault.description or fault.target))
+        self._fault_end(fault, span)
+
+    def _run_corrupt_replica_fault(self, fault: Fault):
+        server = self.servers[fault.target]
+        if fault.start > 0:
+            yield self.env.timeout(fault.start)
+        span = self._fault_begin(fault)
+        # Persistent: the bytes go bad at the window start and stay bad
+        # (disks do not heal); the duration only scopes the span.
+        tag = f"at-rest@{self.env.now:.0f}"
+        try:
+            server.corrupt_file(fault.path, tag=tag)
+        except Exception as exc:
+            # The file may have been deleted/moved since the schedule
+            # was written; a miss must not kill the simulation.
+            self.log.append((self.env.now, "replica corrupt skipped",
+                             f"{fault.target}:{fault.path}: {exc}"))
+        else:
+            self.log.append((self.env.now, "replica corrupted",
+                             fault.description
+                             or f"{fault.target}:{fault.path}"))
+        yield self.env.timeout(fault.duration)
+        self._fault_end(fault, span)
+
+    def _run_truncate_fault(self, fault: Fault):
+        hrm = self.hrms[fault.target]
+        if fault.start > 0:
+            yield self.env.timeout(fault.start)
+        span = self._fault_begin(fault)
+        hrm.begin_truncating()
+        self.log.append((self.env.now, "hrm truncating",
+                         fault.description or fault.target))
+        yield self.env.timeout(fault.duration)
+        hrm.end_truncating()
+        self.log.append((self.env.now, "hrm truncation ended",
+                         fault.description or fault.target))
+        self._fault_end(fault, span)
+
+    def _run_rm_fault(self, fault: Fault):
+        target = self.crashables[fault.target]
+        if fault.start > 0:
+            yield self.env.timeout(fault.start)
+        span = self._fault_begin(fault)
+        target.crash()
+        self.log.append((self.env.now, "rm down",
+                         fault.description or fault.target))
+        yield self.env.timeout(fault.duration)
+        target.restart()
+        self.log.append((self.env.now, "rm restored",
                          fault.description or fault.target))
         self._fault_end(fault, span)

@@ -47,7 +47,7 @@ class Link:
 
     __slots__ = ("name", "src", "dst", "nominal_capacity", "capacity",
                  "latency", "site", "_flows", "_down_holds",
-                 "_degrade_holds")
+                 "_degrade_holds", "_corrupt_holds")
 
     def __init__(self, name: str, src: Node, dst: Node, capacity: float,
                  latency: float, site: str = ""):
@@ -65,6 +65,7 @@ class Link:
         self._flows: set = set()
         self._down_holds = 0
         self._degrade_holds: list = []
+        self._corrupt_holds = 0
 
     @property
     def is_up(self) -> bool:
@@ -103,6 +104,25 @@ class Link:
         except ValueError:
             pass
         self._recompute()
+
+    def corrupt_hold(self) -> None:
+        """Open a bit-flip window: bytes crossing the link are suspect.
+
+        Capacity is untouched — corruption is silent by nature — so no
+        reallocation is needed; the GridFTP client samples
+        :attr:`corrupting` per delivered block and marks the delivered
+        file. Holds are reference-counted like outage holds.
+        """
+        self._corrupt_holds += 1
+
+    def release_corrupt(self) -> None:
+        """Close one bit-flip window (idempotent at zero)."""
+        self._corrupt_holds = max(0, self._corrupt_holds - 1)
+
+    @property
+    def corrupting(self) -> bool:
+        """True while any corrupt-transfer fault window holds the link."""
+        return self._corrupt_holds > 0
 
     def restore(self, capacity: Optional[float] = None) -> None:
         """Release one outage hold; back to nominal once all are gone.

@@ -176,6 +176,18 @@ class ReplicaCatalog:
             return None
         return float(self.directory.lookup(dn).first("size", "0"))
 
+    def logical_file_digest(self, collection: str,
+                            logical_file: str) -> Optional[str]:
+        """Publish-time content digest, or None if never recorded.
+
+        The digest is written once when the pristine copy is registered;
+        verification compares every delivered copy against it.
+        """
+        dn = self._collection_dn(collection).child("lf", logical_file)
+        if not self.directory.exists(dn):
+            return None
+        return self.directory.lookup(dn).first("digest", "") or None
+
     # -- timed query (what the request manager calls) ------------------------------
     def find_replicas(self, collection: str, logical_file: str):
         """Simulation process: locations holding ``logical_file``.

@@ -24,6 +24,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
+from repro.data.digest import file_digest
 from repro.gridftp.client import GridFtpClient, TransferHandle
 from repro.gridftp.protocol import ACTION_NOT_TAKEN, GridFtpConfig, GridFtpError
 from repro.gridftp.restart import ReliabilityPolicy
@@ -132,6 +133,15 @@ class RequestManager:
         self.scheduler = scheduler
         self.tickets: List[RequestTicket] = []
         self.messages: List[tuple] = []  # (t, text) — Figure 4 bottom pane
+        # Integrity pipeline state: replicas whose delivered digest
+        # mismatched the catalog, keyed (collection, logical_file,
+        # location name) → sim time of the mismatch. Quarantined copies
+        # are demoted to last place in replica selection.
+        self.quarantined: Dict[Tuple[str, str, str], float] = {}
+        # Lifecycle hooks: fn(stage, file_request, info_dict), called at
+        # "attempt" / "delivered" / "verified" / "integrity_failed" /
+        # "failed". Used by the campaign engine's journal.
+        self.hooks: List = []
         # degraded-mode state: last known forecast per (src, dst) path,
         # and a rotation counter for round-robin over stale candidates.
         self._forecast_cache: Dict[Tuple[str, str], Tuple[float, float]] = {}
@@ -140,15 +150,38 @@ class RequestManager:
                             if resilience is not None else None)
 
     # -- public API -------------------------------------------------------
+    def add_hook(self, fn) -> None:
+        """Register a lifecycle hook ``fn(stage, file_request, info)``.
+
+        Stages: "attempt" (a replica attempt starts), "delivered"
+        (bytes landed), "verified" (digest matched), "integrity_failed"
+        (digest mismatch — replica quarantined), "failed" (terminal
+        failure). Hooks must not yield.
+        """
+        self.hooks.append(fn)
+
+    def _hook(self, stage: str, fr: FileRequest, **info) -> None:
+        for fn in self.hooks:
+            fn(stage, fr, info)
+
     def submit(self, requests: List[tuple],
                file_deadline: Optional[float] = None,
-               ticket_deadline: Optional[float] = None) -> RequestTicket:
+               ticket_deadline: Optional[float] = None,
+               resolved: Optional[Dict[Tuple[str, str],
+                                       List[LocationInfo]]] = None
+               ) -> RequestTicket:
         """Accept a multi-file request; returns a live ticket.
 
         ``requests`` is a list of (collection, logical_file). One
         simulated "thread" (process) runs per file, concurrently.
         ``file_deadline``/``ticket_deadline`` are budgets in seconds from
         now; unset, they default to the resilience policy's values.
+
+        ``resolved`` optionally maps (collection, logical_file) → the
+        pre-resolved :class:`LocationInfo` list for that file. Files
+        found in the map skip the per-file catalog query — bulk
+        campaigns resolve a whole manifest with one batched
+        ``locations()`` sweep instead of 10⁴ timed LDAP searches.
         """
         res = self.resilience
         if file_deadline is None and res is not None:
@@ -158,6 +191,11 @@ class RequestManager:
         now = self.env.now
         files = [FileRequest(collection=c, logical_file=f)
                  for c, f in requests]
+        if resolved:
+            for fr in files:
+                locs = resolved.get((fr.collection, fr.logical_file))
+                if locs is not None:
+                    fr.pinned_replicas = list(locs)
         if file_deadline is not None:
             for fr in files:
                 fr.deadline_at = now + file_deadline
@@ -329,18 +367,22 @@ class RequestManager:
                 if self._should_stop(ticket, fr):
                     return
             fr.state = FileState.SELECTING
-            # (1) replica lookup.
-            try:
-                replicas = yield from self.catalog.find_replicas(
-                    fr.collection, fr.logical_file)
-            except Exception as exc:
+            # (1) replica lookup — skipped for pre-resolved (campaign)
+            # files, whose locations came from one batched catalog sweep.
+            if fr.pinned_replicas is not None:
+                replicas = list(fr.pinned_replicas)
+            else:
+                try:
+                    replicas = yield from self.catalog.find_replicas(
+                        fr.collection, fr.logical_file)
+                except Exception as exc:
+                    if self._should_stop(ticket, fr):
+                        return
+                    last_error = f"replica lookup failed: {exc}"
+                    last_class = FailureClass.LOOKUP
+                    continue
                 if self._should_stop(ticket, fr):
                     return
-                last_error = f"replica lookup failed: {exc}"
-                last_class = FailureClass.LOOKUP
-                continue
-            if self._should_stop(ticket, fr):
-                return
             if not replicas:
                 # Permanent: no amount of retrying invents a replica.
                 self._fail(ticket, fr, "no replicas registered",
@@ -356,6 +398,15 @@ class RequestManager:
             candidates = yield from self._rank(replicas, fr)
             if self._should_stop(ticket, fr):
                 return
+            if self.quarantined:
+                # Quarantined copies (past digest mismatches) go to the
+                # back of the line: still reachable as a last resort,
+                # never preferred over an untainted replica.
+                fresh = [c for c in candidates
+                         if (fr.collection, fr.logical_file,
+                             c.location.name) not in self.quarantined]
+                quar = [c for c in candidates if c not in fresh]
+                candidates = fresh + quar
             if self.obs is not None and candidates:
                 self.obs.event("rm.select", prog="request-manager",
                                ticket=ticket.id, file=fr.logical_file,
@@ -530,6 +581,7 @@ class RequestManager:
                                  trace=(f"ticket-{ticket.id}"
                                         if ticket is not None else None),
                                  file=fr.logical_file, host=loc.hostname)
+        self._hook("attempt", fr, host=loc.hostname, location=loc.name)
         grant, err, fclass = yield from self._acquire_slot(
             fr, loc, ticket, handle)
         if err is not None:
@@ -617,6 +669,17 @@ class RequestManager:
                 if handle.first_byte_at is not None:
                     self.obs.observe("rm.ttfb_seconds",
                                      handle.first_byte_at - connected_at)
+            self._hook("delivered", fr, host=loc.hostname,
+                       location=loc.name, bytes=stats.transferred_bytes)
+            ok, verr = yield from self._verify_arrival(fr, loc, cfg, stats)
+            if not ok:
+                # Quarantine + delete happened inside _verify_arrival;
+                # the grant release in the finally below stays the one
+                # and only release for this attempt.
+                if span is not None:
+                    span.finish(status="error", error="integrity")
+                session.close()
+                return False, verr, FailureClass.INTEGRITY
             if span is not None:
                 span.finish(status="ok", bytes=stats.transferred_bytes)
             session.close()
@@ -625,6 +688,63 @@ class RequestManager:
             if grant is not None:
                 self.scheduler.release(grant,
                                        bytes_done=handle.bytes_done())
+
+    def _verify_arrival(self, fr: FileRequest, loc: LocationInfo,
+                        cfg: GridFtpConfig, stats):
+        """Verify-on-arrival: recompute the delivered file's digest.
+
+        Simulation process returning ``(ok, error_text)``. A no-op when
+        verification is disabled or the catalog holds no publish-time
+        digest for the file. The checksum scan is cost-modeled at
+        ``cfg.checksum_rate`` and runs while the attempt's scheduler
+        grant is still held, so verification load stays visible to
+        admission control. On a mismatch the source replica is
+        quarantined (demoted in future selections), the bad local copy
+        is deleted, and the caller's candidate loop / retry rounds
+        re-transfer from a different replica.
+        """
+        if not cfg.verify_checksum:
+            return True, ""
+        expected = self.catalog.logical_file_digest(fr.collection,
+                                                    fr.logical_file)
+        if expected is None:
+            return True, ""
+        scan = stats.transferred_bytes / cfg.checksum_rate
+        if scan > 0:
+            yield self.env.timeout(scan)
+        fr.verify_seconds += scan
+        delivered = self.dest_fs.stat(fr.logical_file)
+        actual = file_digest(delivered)
+        if actual == expected:
+            fr.verified = True
+            if self.obs is not None:
+                self.obs.count("rm.verifies_total", outcome="ok")
+                self.obs.observe("rm.verify_seconds", scan)
+            self._hook("verified", fr, host=loc.hostname,
+                       location=loc.name, seconds=scan,
+                       bytes=stats.transferred_bytes)
+            return True, ""
+        fr.integrity_failures += 1
+        fr.verified = False
+        self.quarantined[(fr.collection, fr.logical_file,
+                          loc.name)] = self.env.now
+        if self.dest_fs.exists(fr.logical_file):
+            self.dest_fs.delete(fr.logical_file)
+        self._say(f"{fr.logical_file}: digest mismatch from "
+                  f"{loc.hostname} — replica quarantined")
+        if self.logger is not None:
+            self.logger.event("rm.integrity.mismatch",
+                              prog="request-manager",
+                              file=fr.logical_file, host=loc.hostname,
+                              location=loc.name, expected=expected,
+                              actual=actual)
+        if self.obs is not None:
+            self.obs.count("rm.verifies_total", outcome="mismatch")
+            self.obs.count("rm.integrity_failures_total",
+                           host=loc.hostname)
+        self._hook("integrity_failed", fr, host=loc.hostname,
+                   location=loc.name)
+        return False, f"digest mismatch from {loc.hostname}"
 
     def _cancel(self, ticket: RequestTicket, fr: FileRequest) -> None:
         if fr.state in _TERMINAL:
@@ -652,6 +772,8 @@ class RequestManager:
                               ticket=str(ticket.id), reason=reason)
         if self.obs is not None:
             self.obs.count("rm.failures_total", cls=label)
+        self._hook("failed", fr, reason=reason,
+                   cls=label)
 
 
 def mbps_str(bandwidth: float) -> str:

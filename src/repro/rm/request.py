@@ -43,6 +43,11 @@ class FileRequest:
     failure_class: Optional[object] = None    # FailureClass on FAILED
     breaker_skips: int = 0                    # candidates shed by breakers
     degraded_rankings: int = 0                # ranks done without live NWS
+    # integrity pipeline (see repro.data.digest / GridFtpConfig.verify_checksum)
+    pinned_replicas: Optional[List] = None    # pre-resolved LocationInfos
+    verified: bool = False                    # digest matched the catalog
+    verify_seconds: float = 0.0               # time spent in checksum scans
+    integrity_failures: int = 0               # mismatches caught on arrival
     # per-file trace span (repro.obs), attached by an instrumented RM
     span: Optional[object] = field(default=None, repr=False)
 

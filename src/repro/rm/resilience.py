@@ -34,6 +34,7 @@ class FailureClass(enum.Enum):
     TRANSFER = "transfer"    # data movement aborted or stalled out
     STAGING = "staging"      # HRM / tape staging failed
     DEADLINE = "deadline"    # per-file or per-ticket deadline exceeded
+    INTEGRITY = "integrity"  # delivered digest mismatched the catalog
 
 
 @dataclass

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.data.digest import content_digest
 from repro.data.synth import ClimateModelRun, monthly_files
 from repro.data.grids import GridSpec
 from repro.gridftp.client import GridFtpClient
@@ -327,9 +328,14 @@ class EsgTestbed:
                 run.dataset_id, "lbnl-pdsf", "gsiftp", pdsf.hostname,
                 2811, "/hpss/esg", files=names)
             for f in files:
+                # Publish-time digest of the pristine copy: the anchor
+                # every delivered copy is verified against.
                 self.replica_catalog.register_logical_file(
                     run.dataset_id, str(f["logical_name"]),
-                    float(f["size"]))
+                    float(f["size"]),
+                    attributes={"digest": content_digest(
+                        str(f["logical_name"]), float(f["size"]),
+                        f.get("content"))})
             # Partial disk replicas: file i also lives at two disk sites.
             placements: Dict[str, List[str]] = {s.name: []
                                                 for s in disk_sites}
@@ -350,7 +356,8 @@ class EsgTestbed:
     # -- additional user sites ----------------------------------------------------
     def add_client(self, name: str, downlink: float = mbps(100),
                    latency: float = 0.010,
-                   resilience: Optional["ResiliencePolicy"] = None):
+                   resilience: Optional["ResiliencePolicy"] = None,
+                   config: Optional[GridFtpConfig] = None):
         """Attach another user desktop with its own request manager.
 
         The abstract's scaling concern — "access to, and analysis of,
@@ -371,14 +378,15 @@ class EsgTestbed:
         self.topology.duplex_link(f"r-{name}", "backbone", downlink,
                                   latency, name=f"wan-{name}")
         fs = FileSystem(self.env, f"{name}-fs")
+        cfg = config or self.gridftp.config
         client = GridFtpClient(
             self.env, self.transport, self.registry,
             credential_chain=self.user.make_proxy(self.env.now),
-            config=self.gridftp.config, client_name=name, obs=self.obs)
+            config=cfg, client_name=name, obs=self.obs)
         rm = RequestManager(
             self.env, self.replica_catalog, self.mds, client,
             self.registry, host, fs, nws=self.nws, logger=self.logger,
-            config=self.gridftp.config, obs=self.obs,
+            config=cfg, obs=self.obs,
             resilience=resilience, scheduler=self.scheduler)
         return rm
 
@@ -401,13 +409,15 @@ class EsgTestbed:
         return servers, client
 
     # -- fault injection ---------------------------------------------------------
-    def fault_injector(self):
+    def fault_injector(self, crashables: Optional[Dict] = None):
         """A :class:`~repro.net.faults.FaultInjector` wired to everything.
 
         Knows the testbed's links, DNS, GridFTP servers (by hostname),
         the "catalog" and "mds" directories, and every HRM (by name) —
         so any fault kind a :class:`~repro.net.faults.FaultSchedule` can
-        express is injectable against this testbed.
+        express is injectable against this testbed. ``crashables``
+        optionally maps label → an object with ``crash()``/``restart()``
+        for "rm" faults (e.g. a replication campaign engine).
         """
         from repro.net.faults import FaultInjector
         directories = {"mds": self.mds.directory,
@@ -418,6 +428,7 @@ class EsgTestbed:
         return FaultInjector(self.env, self.network, self.dns,
                              servers=dict(self.registry),
                              directories=directories, hrms=hrms,
+                             crashables=crashables,
                              obs=self.obs)
 
     # -- conveniences -----------------------------------------------------------

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
+from repro.data.digest import add_mark
 from repro.sim.core import Environment
 from repro.sim.events import Event
 from repro.storage.filesystem import FileSystem
@@ -82,6 +83,8 @@ class HierarchicalResourceManager:
         self._hinted: Dict[str, bool] = {}  # insertion-ordered name set
         self.completed: list = []  # history of StageRequest
         self.down = False
+        self.truncating = False
+        self.truncated_stages = 0
         self.stage_failures = 0
         self.prefetch_issued = 0
         self.prefetch_hits = 0
@@ -120,6 +123,17 @@ class HierarchicalResourceManager:
         if self.down:
             self._event("hrm.restored")
         self.down = False
+
+    def begin_truncating(self) -> None:
+        """Integrity fault: stages completing from now on publish a
+        silently damaged (short) copy to the serving disk."""
+        self.truncating = True
+        self._event("hrm.truncating.begin")
+
+    def end_truncating(self) -> None:
+        """The staging path is healthy again."""
+        self.truncating = False
+        self._event("hrm.truncating.end")
 
     # -- staging -------------------------------------------------------------
     def request_stage(self, name: str) -> StageRequest:
@@ -196,6 +210,17 @@ class HierarchicalResourceManager:
         if req.ready.triggered:
             # fail_staging() already failed this request mid-retrieve.
             return
+        if self.truncating and not self.serve_fs.exists(req.name):
+            # Integrity fault: publish (and hand waiters) a damaged COPY
+            # — never mark the retrieved object itself, because the tape
+            # archive and the disk cache share that FileObject and the
+            # archival copy must stay pristine.
+            file = file.with_name(file.name)
+            add_mark(file, f"truncated@{self.env.now:.0f}")
+            self.truncated_stages += 1
+            self._event("hrm.stage.truncated", file=req.name)
+            if self.obs is not None:
+                self.obs.count("hrm.truncated_stages_total")
         # One pin per waiter: N concurrent transfers of this file each
         # release() once, and the last release leaves it evictable.
         # A pure prefetch (waiters == 0) lands unpinned.

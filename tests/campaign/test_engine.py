@@ -1,0 +1,135 @@
+"""Campaign engine tests: drive, verify, crash, resume, give up."""
+
+import pytest
+
+from repro.campaign import CampaignState, ReplicationCampaign, plan_campaign
+from repro.data.digest import marks_of
+from repro.gridftp import GridFtpConfig
+from repro.net import FaultSchedule
+from repro.rm.scheduler import SchedulerConfig
+from repro.scenarios.esg import EsgTestbed
+
+
+def make_campaign(seed=1, years=1, verify=True, **campaign_kw):
+    tb = EsgTestbed(seed=seed, years=years, with_tape=False,
+                    file_size_override=256 * 1024,
+                    scheduler=SchedulerConfig(max_queue_depth=1024))
+    manifest, replicas = plan_campaign(tb.replica_catalog)
+    rm = tb.add_client("mirror",
+                       config=GridFtpConfig(parallelism=2,
+                                            verify_checksum=verify))
+    campaign_kw.setdefault("batch_size", 8)
+    campaign_kw.setdefault("max_inflight", 3)
+    camp = ReplicationCampaign(tb.env, rm, manifest, replicas,
+                               **campaign_kw)
+    return tb, rm, manifest, camp
+
+
+def run_campaign(tb, camp):
+    camp.start()
+    p = tb.env.process(camp.wait())
+    tb.env.run(until=p)
+    return p.value
+
+
+def test_campaign_verifies_every_file():
+    tb, rm, manifest, camp = make_campaign()
+    report = run_campaign(tb, camp)
+    assert len(manifest) > 0
+    assert report["states"] == {"verified": len(manifest)}
+    assert report["verified_retransfers"] == 0
+    assert report["bytes_delivered"] == pytest.approx(
+        manifest.total_bytes)
+    assert report["verify_seconds"] > 0.0
+    assert report["makespan"] > 0.0
+    # Every journaled file landed clean on the mirror's disk.
+    for entry in manifest:
+        assert marks_of(rm.dest_fs.stat(entry.logical_file)) == ()
+
+
+def test_campaign_size_only_when_verification_off():
+    tb, rm, manifest, camp = make_campaign(verify=False)
+    report = run_campaign(tb, camp)
+    assert report["states"] == {"verified": len(manifest)}
+    assert report["verify_seconds"] == 0.0
+    notes = [r.note for r in camp.journal.records
+             if r.state is CampaignState.VERIFIED]
+    assert notes and all(n == "size-only" for n in notes)
+
+
+def test_campaign_crash_resume_retransfers_nothing_verified():
+    """Kill the campaign mid-run; the journal replay must re-queue only
+    non-terminal files — never a VERIFIED one — and still finish."""
+    tb, rm, manifest, camp = make_campaign(seed=2, years=2)
+    inj = tb.fault_injector(crashables={"campaign": camp})
+    inj.install(FaultSchedule().rm_crash("campaign", 1.0, 0.5))
+    report = run_campaign(tb, camp)
+    assert report["crashes"] == 1
+    assert report["resumes"] == 1
+    assert report["states"] == {"verified": len(manifest)}
+    assert report["verified_retransfers"] == 0
+    # The crash may force re-transfer of unverified in-flight bytes,
+    # but never more than what was in flight at the crash.
+    assert report["bytes_retransferred"] < manifest.total_bytes / 2
+    resumed = [r for r in camp.journal.records if r.note == "resume"]
+    assert resumed  # the restart actually re-queued work
+    for entry in manifest:
+        assert marks_of(rm.dest_fs.stat(entry.logical_file)) == ()
+
+
+def test_campaign_detects_at_rest_corruption_and_heals():
+    tb, rm, manifest, camp = make_campaign(seed=3)
+    # Corrupt one replica of each of the first three files (another
+    # clean replica always remains).
+    poisoned = 0
+    for entry in manifest.entries[:3]:
+        sites = [s for s in tb.sites.values()
+                 if s.fs.exists(entry.logical_file)]
+        if len(sites) >= 2:
+            sites[0].server.corrupt_file(entry.logical_file,
+                                         tag="at-rest@test")
+            poisoned += 1
+    assert poisoned
+    report = run_campaign(tb, camp)
+    assert report["states"] == {"verified": len(manifest)}
+    assert report["corruptions_caught"] >= 0  # rank may dodge bad copies
+    for entry in manifest:
+        assert marks_of(rm.dest_fs.stat(entry.logical_file)) == ()
+
+
+def test_campaign_gives_up_after_attempt_budget():
+    tb, rm, manifest, camp = make_campaign(seed=4, max_file_attempts=2)
+    rm.config.retry_limit = 1
+    rm.config.retry_backoff = 0.5
+    victim = manifest.entries[0]
+    for site in tb.sites.values():
+        if site.fs.exists(victim.logical_file):
+            site.server.corrupt_file(victim.logical_file,
+                                     tag="at-rest@everywhere")
+    report = run_campaign(tb, camp)
+    assert report["states"].get("failed") == 1
+    assert report["states"].get("verified") == len(manifest) - 1
+    assert camp.journal.state(victim.key) is CampaignState.FAILED
+    assert not rm.dest_fs.exists(victim.logical_file)
+
+
+def test_campaign_validation():
+    tb, rm, manifest, camp = make_campaign()
+    with pytest.raises(ValueError):
+        ReplicationCampaign(tb.env, rm, manifest, {}, batch_size=0)
+    with pytest.raises(ValueError):
+        ReplicationCampaign(tb.env, rm, manifest, {}, max_inflight=0)
+    camp.start()
+    with pytest.raises(RuntimeError):
+        camp.start()
+
+
+def test_crash_is_idempotent_and_restart_needs_crash():
+    tb, rm, manifest, camp = make_campaign()
+    camp.restart()          # not down: no-op
+    assert camp.resumes == 0
+    camp.start()
+    camp.crash()
+    camp.crash()            # second crash is a no-op
+    assert camp.crashes == 1
+    assert camp.down

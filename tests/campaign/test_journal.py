@@ -1,0 +1,162 @@
+"""Property suite for the campaign journal.
+
+Pins the three invariants recovery correctness rests on:
+
+- **idempotent replay** — replaying a journal concatenated with itself
+  (or with any prefix of itself, the crash/resume shape) equals
+  replaying it once, for both states and byte totals;
+- **monotone state machine** — a file that reaches VERIFIED never
+  leaves it, whatever records arrive later;
+- **serialize/parse round-trip** — the JSON-lines form rebuilds the
+  same journal, and appends keep working after a round trip.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import CampaignJournal, CampaignState
+from repro.campaign.journal import ALLOWED, transition_allowed
+
+STATES = list(CampaignState)
+
+# (file index, state index, nbytes) — applied through append(), which
+# enforces the transition rules exactly like the live engine does.
+ops_strategy = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, len(STATES) - 1),
+              st.integers(0, 1000)),
+    min_size=1, max_size=120)
+
+
+def build(ops):
+    journal = CampaignJournal()
+    for i, (f, s, nbytes) in enumerate(ops):
+        journal.append(f"f{f}", STATES[s], float(i), nbytes=float(nbytes))
+    return journal
+
+
+def fold_key(replayed):
+    return {f: (e.state, e.delivered_bytes)
+            for f, e in sorted(replayed.items())}
+
+
+# -- transition table sanity -------------------------------------------------
+
+def test_verified_is_terminal_in_the_table():
+    assert ALLOWED[CampaignState.VERIFIED] == frozenset()
+    assert not transition_allowed(CampaignState.VERIFIED,
+                                  CampaignState.IN_FLIGHT)
+
+
+def test_unknown_file_may_enter_any_state():
+    for state in STATES:
+        assert transition_allowed(None, state)
+
+
+def test_append_rejects_illegal_transition():
+    j = CampaignJournal()
+    j.append("f", CampaignState.PENDING, 0.0)
+    assert j.append("f", CampaignState.VERIFIED, 1.0) is None
+    assert j.ignored == 1
+    assert j.state("f") is CampaignState.PENDING
+    assert len(j) == 1
+
+
+# -- replay properties -------------------------------------------------------
+
+@given(ops_strategy)
+@settings(max_examples=200, deadline=None)
+def test_property_replay_is_idempotent(ops):
+    journal = build(ops)
+    once = fold_key(journal.replay())
+    twice = fold_key(journal.replay(journal.records + journal.records))
+    assert once == twice
+    assert once == fold_key(journal.replay(journal.records))
+
+
+@given(ops_strategy, st.integers(0, 120))
+@settings(max_examples=200, deadline=None)
+def test_property_crash_resume_conserves_bytes(ops, cut):
+    """Resume-after-crash replays (prefix + full journal): per-file
+    states and delivered-byte totals must equal a single clean replay."""
+    journal = build(ops)
+    cut = min(cut, len(journal.records))
+    prefix = journal.records[:cut]
+    clean = fold_key(journal.replay())
+    resumed = fold_key(journal.replay(prefix + journal.records))
+    assert clean == resumed
+
+
+@given(ops_strategy)
+@settings(max_examples=200, deadline=None)
+def test_property_verified_never_regresses(ops):
+    """Once a file's applied state is VERIFIED, it stays VERIFIED —
+    through further appends and through replay."""
+    journal = CampaignJournal()
+    hit = set()
+    for i, (f, s, nbytes) in enumerate(ops):
+        name = f"f{f}"
+        journal.append(name, STATES[s], float(i), nbytes=float(nbytes))
+        if journal.state(name) is CampaignState.VERIFIED:
+            hit.add(name)
+        assert all(journal.state(n) is CampaignState.VERIFIED
+                   for n in hit)
+    replayed = journal.replay()
+    assert all(replayed[n].state is CampaignState.VERIFIED for n in hit)
+
+
+@given(ops_strategy)
+@settings(max_examples=200, deadline=None)
+def test_property_replay_matches_live_state(ops):
+    """The folded replay equals the state the journal tracked live."""
+    journal = build(ops)
+    replayed = journal.replay()
+    assert {f: e.state for f, e in replayed.items()} == journal.states()
+
+
+# -- persistence -------------------------------------------------------------
+
+@given(ops_strategy)
+@settings(max_examples=100, deadline=None)
+def test_property_serialize_parse_round_trip(ops):
+    journal = build(ops)
+    clone = CampaignJournal.parse(journal.serialize())
+    assert clone.records == journal.records
+    assert clone.states() == journal.states()
+    assert fold_key(clone.replay()) == fold_key(journal.replay())
+
+
+def test_parse_continues_sequence():
+    j = CampaignJournal()
+    j.append("f", CampaignState.PENDING, 0.0)
+    j.append("f", CampaignState.IN_FLIGHT, 1.0)
+    clone = CampaignJournal.parse(j.serialize())
+    rec = clone.append("f", CampaignState.DELIVERED, 2.0, nbytes=10.0)
+    assert rec is not None
+    assert rec.seq == 3  # seq keeps increasing across a round trip
+    assert clone.state("f") is CampaignState.DELIVERED
+
+
+def test_parse_tolerates_blank_lines_and_order():
+    j = CampaignJournal()
+    j.append("a", CampaignState.PENDING, 0.0)
+    j.append("b", CampaignState.PENDING, 0.0)
+    j.append("a", CampaignState.IN_FLIGHT, 1.0)
+    lines = j.serialize().splitlines()
+    scrambled = "\n\n".join(reversed(lines))
+    clone = CampaignJournal.parse(scrambled)
+    assert clone.states() == j.states()
+
+
+def test_delivered_bytes_accumulate_only_applied_records():
+    j = CampaignJournal()
+    j.append("f", CampaignState.PENDING, 0.0)
+    j.append("f", CampaignState.IN_FLIGHT, 1.0)
+    j.append("f", CampaignState.DELIVERED, 2.0, nbytes=100.0)
+    j.append("f", CampaignState.PENDING, 3.0)      # unverified; requeue
+    j.append("f", CampaignState.IN_FLIGHT, 4.0)
+    j.append("f", CampaignState.DELIVERED, 5.0, nbytes=100.0)
+    j.append("f", CampaignState.VERIFIED, 6.0)
+    entry = j.replay()["f"]
+    assert entry.state is CampaignState.VERIFIED
+    assert entry.delivered_bytes == pytest.approx(200.0)

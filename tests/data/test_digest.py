@@ -1,0 +1,79 @@
+"""Tests for the deterministic content-digest model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.digest import (
+    MARKS_KEY,
+    add_mark,
+    content_digest,
+    file_digest,
+    is_pristine,
+    marks_of,
+)
+from repro.storage import FileObject
+
+
+def test_digest_is_deterministic():
+    a = content_digest("ta/f1.nc", 2**20)
+    b = content_digest("ta/f1.nc", 2**20)
+    assert a == b
+    assert isinstance(a, str) and len(a) == 16  # blake2s-64 hex
+
+
+def test_digest_distinguishes_name_size_content():
+    base = content_digest("f.nc", 100.0)
+    assert content_digest("g.nc", 100.0) != base
+    assert content_digest("f.nc", 101.0) != base
+    assert content_digest("f.nc", 100.0, content=b"tas v2") != base
+
+
+def test_marks_change_digest():
+    clean = content_digest("f.nc", 100.0)
+    marked = content_digest("f.nc", 100.0, marks=("xfer@1.5",))
+    assert marked != clean
+    # Mark order matters: a different corruption history is a
+    # different (wrong) byte stream.
+    twice = content_digest("f.nc", 100.0, marks=("a", "b"))
+    assert twice != content_digest("f.nc", 100.0, marks=("b", "a"))
+
+
+def test_file_digest_matches_content_digest():
+    f = FileObject("tas.nc", 4, content=b"tas\n")
+    assert file_digest(f) == content_digest("tas.nc", 4, content=b"tas\n")
+    g = FileObject("f.nc", 2048)
+    assert file_digest(g) == content_digest("f.nc", 2048)
+
+
+def test_add_mark_and_pristine():
+    f = FileObject("f.nc", 2048)
+    assert is_pristine(f)
+    clean = file_digest(f)
+    add_mark(f, "at-rest@12")
+    assert not is_pristine(f)
+    assert marks_of(f) == ("at-rest@12",)
+    assert file_digest(f) != clean
+
+
+def test_marks_survive_metadata_round_trip():
+    f = FileObject("f.nc", 2048)
+    add_mark(f, "a")
+    add_mark(f, "b")
+    g = FileObject("f.nc", 2048,
+                   metadata={MARKS_KEY: f.metadata[MARKS_KEY]})
+    assert marks_of(g) == ("a", "b")
+    assert file_digest(g) == file_digest(f)
+
+
+@given(st.text(min_size=1, max_size=40),
+       st.floats(min_value=1, max_value=2**40, allow_nan=False),
+       st.lists(st.text(max_size=10), max_size=4))
+@settings(max_examples=200, deadline=None)
+def test_property_digest_pure_function(name, size, marks):
+    """Same inputs always hash the same; marked never equals pristine."""
+    size = float(int(size))
+    a = content_digest(name, size, marks=tuple(marks))
+    b = content_digest(name, size, marks=tuple(marks))
+    assert a == b
+    if marks:
+        assert a != content_digest(name, size)

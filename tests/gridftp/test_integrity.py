@@ -1,0 +1,224 @@
+"""Integrity tests: CKSM, taint marking, and restart + verify."""
+
+import pytest
+
+from repro.data.digest import content_digest, file_digest, marks_of
+from repro.gridftp import GridFtpConfig, GridFtpError, GridFtpServer
+from repro.net import MB, FaultInjector, FaultSchedule
+from repro.storage import (
+    FileObject,
+    HierarchicalResourceManager,
+    MassStorageSystem,
+)
+
+from tests.gridftp.conftest import Grid
+
+
+# -- CKSM command -----------------------------------------------------------
+
+def test_cksm_returns_catalog_grade_digest():
+    grid = Grid()
+    grid.server_fs.create("data.nc", 10 * MB)
+    cfg = GridFtpConfig()
+
+    def main():
+        session = yield from grid.client.connect(grid.client_host,
+                                                 "srv.lbl.gov", cfg)
+        digest = yield from session.cksm("data.nc")
+        return digest
+
+    digest = grid.run_process(main())
+    assert digest == content_digest("data.nc", 10 * MB)
+    assert digest == file_digest(grid.server_fs.stat("data.nc"))
+    assert grid.server.checksums_served == 1
+
+
+def test_cksm_costs_a_disk_scan():
+    """CKSM is not free: the server charges size / checksum_rate."""
+    grid = Grid()
+    size = 150 * MB
+    grid.server_fs.create("big.nc", size)
+    cfg = GridFtpConfig()
+
+    def main():
+        session = yield from grid.client.connect(grid.client_host,
+                                                 "srv.lbl.gov", cfg)
+        t0 = grid.env.now
+        yield from session.cksm("big.nc")
+        return grid.env.now - t0
+
+    elapsed = grid.run_process(main())
+    assert elapsed >= size / grid.server.checksum_rate
+
+
+def test_cksm_missing_file_raises():
+    grid = Grid()
+    cfg = GridFtpConfig()
+
+    def main():
+        session = yield from grid.client.connect(grid.client_host,
+                                                 "srv.lbl.gov", cfg)
+        with pytest.raises(GridFtpError):
+            yield from session.cksm("ghost.nc")
+        return True
+
+    assert grid.run_process(main())
+
+
+# -- taint propagation ------------------------------------------------------
+
+def test_clean_transfer_delivers_pristine_digest():
+    grid = Grid()
+    grid.server_fs.create("data.nc", 20 * MB)
+    cfg = GridFtpConfig(parallelism=2)
+
+    def main():
+        session = yield from grid.client.connect(grid.client_host,
+                                                 "srv.lbl.gov", cfg)
+        stats = yield from session.get("data.nc", grid.client_fs,
+                                       grid.client_host, config=cfg)
+        return stats
+
+    stats = grid.run_process(main())
+    delivered = grid.client_fs.stat("data.nc")
+    assert stats.tainted_blocks == 0
+    assert marks_of(delivered) == ()
+    assert file_digest(delivered) == content_digest("data.nc", 20 * MB)
+
+
+def test_corrupt_window_taints_delivered_file():
+    """Blocks pumped through a corrupting link change the digest."""
+    grid = Grid()
+    grid.server_fs.create("data.nc", 100 * MB)
+    # Window covers the whole transfer on the server->client direction.
+    sched = FaultSchedule().corrupt_transfer("wan:fwd", 0.5, 60.0)
+    FaultInjector(grid.env, grid.net, grid.ns).install(sched)
+    cfg = GridFtpConfig(parallelism=2, buffer_bytes=MB)
+
+    def main():
+        session = yield from grid.client.connect(grid.client_host,
+                                                 "srv.lbl.gov", cfg)
+        stats = yield from session.get("data.nc", grid.client_fs,
+                                       grid.client_host, config=cfg)
+        digest = yield from session.cksm("data.nc")
+        return stats, digest
+
+    stats, source_digest = grid.run_process(main())
+    delivered = grid.client_fs.stat("data.nc")
+    assert stats.tainted_blocks >= 1
+    assert marks_of(delivered)
+    # End-to-end detection: arrival digest disagrees with the source's.
+    assert file_digest(delivered) != source_digest
+    assert source_digest == content_digest("data.nc", 100 * MB)
+
+
+def test_at_rest_corruption_changes_cksm():
+    grid = Grid()
+    grid.server_fs.create("data.nc", 10 * MB)
+    clean = content_digest("data.nc", 10 * MB)
+    grid.server.corrupt_file("data.nc", tag="at-rest@test")
+    cfg = GridFtpConfig()
+
+    def main():
+        session = yield from grid.client.connect(grid.client_host,
+                                                 "srv.lbl.gov", cfg)
+        return (yield from session.cksm("data.nc"))
+
+    assert grid.run_process(main()) != clean
+
+
+# -- restart markers compose with verification (satellite) ------------------
+
+def test_restart_resume_then_digest_verifies():
+    """Crash mid-file, resume from restart markers, digest still clean.
+
+    The resumed transfer must reassemble a file whose digest matches the
+    publish-time digest — restart markers must not corrupt, duplicate,
+    or drop block ranges.
+    """
+    grid = Grid()
+    size = 200 * MB
+    grid.server_fs.create("data.nc", size)
+    sched = FaultSchedule().link_outage("wan:fwd", start=1.0, duration=10.0)
+    FaultInjector(grid.env, grid.net, grid.ns).install(sched)
+    cfg = GridFtpConfig(parallelism=1, buffer_bytes=MB, stall_timeout=4.0,
+                        retry_backoff=1.0)
+
+    def main():
+        session = yield from grid.client.connect(grid.client_host,
+                                                 "srv.lbl.gov", cfg)
+        stats = yield from session.get("data.nc", grid.client_fs,
+                                       grid.client_host, config=cfg)
+        digest = yield from session.cksm("data.nc")
+        return stats, digest
+
+    stats, source_digest = grid.run_process(main())
+    assert stats.restarts >= 1                      # it really crashed
+    delivered = grid.client_fs.stat("data.nc")
+    assert delivered.size == pytest.approx(size)
+    assert file_digest(delivered) == source_digest  # ... and verifies
+
+
+def test_restart_through_corrupt_window_still_detected():
+    """An outage + corruption combo must never launder a bad file."""
+    grid = Grid()
+    grid.server_fs.create("data.nc", 100 * MB)
+    sched = (FaultSchedule()
+             .link_outage("wan:fwd", start=0.5, duration=8.0)
+             .corrupt_transfer("wan:fwd", 8.5, 30.0))
+    FaultInjector(grid.env, grid.net, grid.ns).install(sched)
+    cfg = GridFtpConfig(parallelism=1, buffer_bytes=MB, stall_timeout=4.0,
+                        retry_backoff=1.0)
+
+    def main():
+        session = yield from grid.client.connect(grid.client_host,
+                                                 "srv.lbl.gov", cfg)
+        stats = yield from session.get("data.nc", grid.client_fs,
+                                       grid.client_host, config=cfg)
+        return stats
+
+    stats = grid.run_process(main())
+    delivered = grid.client_fs.stat("data.nc")
+    if stats.tainted_blocks:
+        assert file_digest(delivered) != content_digest("data.nc",
+                                                        100 * MB)
+    else:  # corruption window may close before the resumed blocks
+        assert file_digest(delivered) == content_digest("data.nc",
+                                                        100 * MB)
+
+
+# -- HRM-backed CKSM holds the cache pin (satellite) ------------------------
+
+def test_cksm_on_hrm_backed_server_pins_for_whole_scan():
+    """The checksum scan reads the staged copy — eviction mid-scan would
+    be a use-after-free. The pin must be held until the scan finishes."""
+    grid = Grid(secure=False)
+    env = grid.env
+    mss = MassStorageSystem(env, cache_capacity=500 * MB, drives=1)
+    hrm = HierarchicalResourceManager(env, mss, grid.server_fs)
+    srv = GridFtpServer(env, grid.server_host, grid.server_fs,
+                        gsi=None, credential_chain=(),
+                        hostname="hrm.lbl.gov", hrm=hrm,
+                        checksum_rate=10 * MB)
+    size = 140 * MB
+    mss.archive(FileObject("f.nc", size), tape="T1", position=0.0)
+
+    p = env.process(srv.cksm("f.nc"))
+    samples = []
+
+    def sampler():
+        while not p.triggered:
+            samples.append((env.now, mss.cache.is_pinned("f.nc")))
+            yield env.timeout(0.25)
+
+    env.process(sampler())
+    env.run(until=p)
+    digest = p.value
+    finished = env.now
+    scan = size / srv.checksum_rate  # 14 s at 10 MB/s
+
+    assert digest == content_digest("f.nc", size)
+    assert not mss.cache.is_pinned("f.nc")  # balanced release at the end
+    in_scan = [pinned for t, pinned in samples
+               if finished - scan + 0.5 <= t < finished]
+    assert in_scan and all(in_scan)  # pinned for the entire scan window

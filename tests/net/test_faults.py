@@ -34,6 +34,34 @@ def test_fault_rejects_bad_start_and_duration():
         Fault("link", "ab:fwd", start=-1.0, duration=5.0)
     with pytest.raises(ValueError):
         Fault("link", "ab:fwd", start=0.0, duration=0.0)
+    with pytest.raises(ValueError):
+        Fault("link", "ab:fwd", start=0.0, duration=-3.0)
+
+
+def test_fault_rejects_non_finite_start_and_duration():
+    """NaN/inf windows would silently wedge the injector's timeline —
+    they must be rejected at construction, including via the builders."""
+    nan, inf = float("nan"), float("inf")
+    for start, duration in ((nan, 5.0), (inf, 5.0), (0.0, nan),
+                            (0.0, inf), (nan, nan)):
+        with pytest.raises(ValueError):
+            Fault("link", "ab:fwd", start=start, duration=duration)
+    with pytest.raises(ValueError):
+        FaultSchedule().corrupt_transfer("ab:fwd", nan, 1.0)
+    with pytest.raises(ValueError):
+        FaultSchedule().link_outage("ab:fwd", 0.0, inf)
+    with pytest.raises(ValueError):
+        FaultSchedule().rm_crash("campaign", inf, 1.0)
+
+
+def test_fault_rejects_non_finite_degrade_fraction():
+    with pytest.raises(ValueError):
+        Fault("degrade", "ab:fwd", 0.0, 5.0, fraction=float("nan"))
+
+
+def test_corrupt_replica_requires_path():
+    with pytest.raises(ValueError):
+        Fault("corrupt_replica", "gridftp.x.gov", 0.0, 5.0)
 
 
 def test_fault_rejects_bad_degrade_fraction():
@@ -63,11 +91,16 @@ def test_schedule_builders_accumulate():
              .server_outage("gridftp.x.gov", 1.0, 2.0)
              .mds_outage(1.0, 2.0)
              .catalog_outage(1.0, 2.0, mode="hang")
-             .hrm_outage("hrm-x", 1.0, 2.0))
-    assert len(sched) == 8
+             .hrm_outage("hrm-x", 1.0, 2.0)
+             .corrupt_transfer("ab:fwd", 1.0, 2.0)
+             .corrupt_replica("gridftp.x.gov", "f.nc", 1.0, 2.0)
+             .truncate_stage("hrm-x", 1.0, 2.0)
+             .rm_crash("campaign", 1.0, 2.0))
+    assert len(sched) == 12
     kinds = [f.kind for f in sched.faults]
     assert kinds == ["link", "site", "dns", "degrade", "server",
-                     "directory", "directory", "hrm"]
+                     "directory", "directory", "hrm", "corrupt",
+                     "corrupt_replica", "truncate_stage", "rm"]
 
 
 # -- injector target validation ---------------------------------------------
@@ -84,6 +117,21 @@ def test_injector_validates_targets_at_install():
         inj.install(FaultSchedule().mds_outage(1.0, 1.0))
     with pytest.raises(KeyError):
         inj.install(FaultSchedule().hrm_outage("hrm-x", 1.0, 1.0))
+
+
+def test_injector_validates_integrity_fault_targets():
+    env, topo, net, ns = fixture()
+    inj = FaultInjector(env, net, ns)
+    with pytest.raises(KeyError):
+        inj.install(FaultSchedule().corrupt_transfer("nope:fwd",
+                                                     1.0, 1.0))
+    with pytest.raises(KeyError):
+        inj.install(FaultSchedule().corrupt_replica("gridftp.x.gov",
+                                                    "f.nc", 1.0, 1.0))
+    with pytest.raises(KeyError):
+        inj.install(FaultSchedule().truncate_stage("hrm-x", 1.0, 1.0))
+    with pytest.raises(KeyError):
+        inj.install(FaultSchedule().rm_crash("campaign", 1.0, 1.0))
 
 
 def test_dns_fault_requires_name_service():
@@ -290,3 +338,116 @@ def test_directory_hang_mode_blocks_until_window_ends():
     t, dn = p.value
     # Blocked from t=2 to the window end at t=5, then the normal latency.
     assert t == pytest.approx(5.005)
+
+
+# -- integrity fault execution ----------------------------------------------
+
+def test_corrupt_transfer_window_opens_and_closes():
+    env, topo, net, ns = fixture()
+    link = topo.links["ab:fwd"]
+    inj = FaultInjector(env, net, ns)
+    inj.install(FaultSchedule().corrupt_transfer("ab:fwd", 1.0, 4.0))
+    assert not link.corrupting
+    env.run(until=2.0)
+    assert link.corrupting
+    # A corrupting window degrades data, not capacity.
+    assert link.capacity == pytest.approx(link.nominal_capacity)
+    env.run(until=10.0)
+    assert not link.corrupting
+
+
+def test_overlapping_corrupt_windows_refcount():
+    env, topo, net, ns = fixture()
+    link = topo.links["ab:fwd"]
+    inj = FaultInjector(env, net, ns)
+    # [1, 6) and [3, 10): the first close must not end the second.
+    inj.install(FaultSchedule()
+                .corrupt_transfer("ab:fwd", 1.0, 5.0)
+                .corrupt_transfer("ab:fwd", 3.0, 7.0))
+    env.run(until=7.0)
+    assert link.corrupting
+    env.run(until=11.0)
+    assert not link.corrupting
+
+
+def test_corrupt_replica_marks_file_at_rest():
+    from repro.data.digest import file_digest, is_pristine
+    from repro.storage import FileObject
+
+    env, topo, net, ns = fixture()
+
+    class FakeServer:
+        def __init__(self):
+            self.file = FileObject("f.nc", 100)
+
+        def corrupt_file(self, path, tag="at-rest"):
+            from repro.data.digest import add_mark
+            if path != self.file.name:
+                raise KeyError(path)
+            return add_mark(self.file, tag)
+
+    server = FakeServer()
+    clean = file_digest(server.file)
+    inj = FaultInjector(env, net, ns,
+                        servers={"gridftp.x.gov": server})
+    inj.install(FaultSchedule().corrupt_replica(
+        "gridftp.x.gov", "f.nc", 2.0, 1.0))
+    env.run(until=5.0)
+    assert not is_pristine(server.file)
+    assert file_digest(server.file) != clean
+
+
+def test_corrupt_replica_missing_file_is_skipped_not_fatal():
+    env, topo, net, ns = fixture()
+
+    class FakeServer:
+        def corrupt_file(self, path, tag="at-rest"):
+            raise KeyError(path)
+
+    inj = FaultInjector(env, net, ns,
+                        servers={"gridftp.x.gov": FakeServer()})
+    inj.install(FaultSchedule().corrupt_replica(
+        "gridftp.x.gov", "absent.nc", 1.0, 1.0))
+    env.run(until=5.0)  # must not raise out of the injector process
+
+
+def test_truncate_stage_toggles_hrm_flag():
+    env, topo, net, ns = fixture()
+
+    class FakeHrm:
+        def __init__(self):
+            self.truncating = False
+
+        def begin_truncating(self):
+            self.truncating = True
+
+        def end_truncating(self):
+            self.truncating = False
+
+    hrm = FakeHrm()
+    inj = FaultInjector(env, net, ns, hrms={"hrm-x": hrm})
+    inj.install(FaultSchedule().truncate_stage("hrm-x", 1.0, 4.0))
+    env.run(until=2.0)
+    assert hrm.truncating
+    env.run(until=10.0)
+    assert not hrm.truncating
+
+
+def test_rm_crash_fault_kills_and_restarts_crashable():
+    env, topo, net, ns = fixture()
+
+    class FakeCampaign:
+        def __init__(self):
+            self.events = []
+
+        def crash(self):
+            self.events.append(("crash", env.now))
+
+        def restart(self):
+            self.events.append(("restart", env.now))
+
+    camp = FakeCampaign()
+    inj = FaultInjector(env, net, ns, crashables={"campaign": camp})
+    inj.install(FaultSchedule().rm_crash("campaign", 2.0, 3.0))
+    env.run(until=10.0)
+    assert camp.events == [("crash", 2.0), ("restart", 5.0)]

@@ -1,0 +1,150 @@
+"""End-to-end verification: digest checks, quarantine, re-transfer.
+
+Covers the request-manager side of the integrity pipeline: a delivered
+file whose digest disagrees with the publish-time catalog digest is
+discarded, its source replica quarantined (demoted in selection), and
+the transfer retried from a different replica. Also pins the
+scheduler-slot accounting on the verify-then-retransfer path: every
+grant is released exactly once, under any mix of integrity faults.
+"""
+
+import pytest
+
+from repro.data.digest import marks_of
+from repro.gridftp import GridFtpConfig
+from repro.rm import FileState
+from repro.rm.resilience import FailureClass
+from repro.rm.scheduler import SchedulerConfig
+from repro.scenarios.esg import EsgTestbed
+
+
+def make_testbed(seed=11, **kw):
+    tb = EsgTestbed(seed=seed, with_tape=False,
+                    file_size_override=8 * 2**20, **kw)
+    tb.request_manager.config.verify_checksum = True
+    tb.warm_nws(90.0)
+    return tb
+
+
+def holders(tb, name):
+    """Every site whose GridFTP server holds a replica of ``name``."""
+    return [s for s in tb.sites.values() if s.fs.exists(name)]
+
+
+def first_files(tb, n=1):
+    ds = tb.dataset_ids()[0]
+    return ds, tb.metadata_catalog.resolve(ds, "tas")[:n]
+
+
+def test_clean_transfer_verifies_against_catalog():
+    tb = make_testbed()
+    ds, names = first_files(tb, 2)
+    ticket = tb.request_manager.submit([(ds, n) for n in names])
+    tb.env.run(until=ticket.done)
+    assert ticket.complete
+    for fr in ticket.files:
+        assert fr.state is FileState.DONE
+        assert fr.verified
+        assert fr.verify_seconds > 0.0
+        assert fr.integrity_failures == 0
+        assert marks_of(tb.client_fs.stat(fr.logical_file)) == ()
+    assert not tb.request_manager.quarantined
+
+
+def test_mismatch_quarantines_and_retransfers_elsewhere():
+    """Corrupt every fast replica: the RM must detect each bad arrival,
+    quarantine the source, and land the clean copy from the slow site."""
+    tb = make_testbed()
+    ds, names = first_files(tb, 1)
+    name = names[0]
+    sites = holders(tb, name)
+    assert len(sites) >= 2
+    # Keep exactly one (slow-WAN) replica pristine; corrupt the rest.
+    keep = min(sites, key=lambda s: tb.topology.links[
+        f"wan-{s.name}:fwd"].nominal_capacity)
+    for site in sites:
+        if site is not keep:
+            site.server.corrupt_file(name, tag="at-rest@seed")
+    ticket = tb.request_manager.submit([(ds, name)])
+    tb.env.run(until=ticket.done)
+    fr = ticket.files[0]
+    assert fr.state is FileState.DONE
+    assert fr.verified
+    # Fast (corrupted) replicas are ranked first, so at least one bad
+    # arrival was caught and retried from a different replica.
+    assert fr.integrity_failures >= 1
+    assert fr.chosen_location == keep.name
+    assert marks_of(tb.client_fs.stat(name)) == ()
+    quarantined = [k for k in tb.request_manager.quarantined
+                   if k[1] == name]
+    assert quarantined
+    assert all(k[2] != keep.name for k in quarantined)
+
+
+def test_all_replicas_corrupt_fails_with_integrity_class():
+    tb = make_testbed()
+    tb.request_manager.config.retry_limit = 1
+    tb.request_manager.config.retry_backoff = 0.5
+    ds, names = first_files(tb, 1)
+    name = names[0]
+    for site in holders(tb, name):
+        site.server.corrupt_file(name, tag="at-rest@everywhere")
+    ticket = tb.request_manager.submit([(ds, name)])
+    tb.env.run(until=ticket.done)
+    fr = ticket.files[0]
+    assert fr.state is FileState.FAILED
+    assert fr.failure_class is FailureClass.INTEGRITY
+    assert fr.integrity_failures >= 1
+    # The poisoned payload must never be left on the client disk.
+    assert not tb.client_fs.exists(name)
+
+
+def test_verify_off_delivers_corrupt_bytes_silently():
+    """Without verification the corruption lands — the control that
+    shows the digest check is what provides the protection."""
+    tb = make_testbed()
+    tb.request_manager.config.verify_checksum = False
+    ds, names = first_files(tb, 1)
+    name = names[0]
+    for site in holders(tb, name):
+        site.server.corrupt_file(name, tag="at-rest@everywhere")
+    ticket = tb.request_manager.submit([(ds, name)])
+    tb.env.run(until=ticket.done)
+    fr = ticket.files[0]
+    assert fr.state is FileState.DONE
+    assert not fr.verified
+    assert marks_of(tb.client_fs.stat(name))  # corrupt bytes delivered
+
+
+# -- scheduler-slot conservation under integrity faults (satellite) ---------
+
+@pytest.mark.parametrize("seed", [11, 23, 47])
+def test_property_grants_equal_releases_under_integrity_faults(seed):
+    """Every scheduler grant is released exactly once, even when the
+    verify stage rejects arrivals and forces re-transfers."""
+    tb = EsgTestbed(seed=seed, with_tape=False,
+                    file_size_override=4 * 2**20,
+                    scheduler=SchedulerConfig(per_server_cap=2,
+                                              max_queue_depth=256),
+                    config=GridFtpConfig(parallelism=2,
+                                         verify_checksum=True))
+    tb.scheduler.audit_log = []   # turn on transition auditing
+    tb.warm_nws(90.0)
+    ds, names = first_files(tb, 6)
+    # Corrupt roughly half the replicas of every other file.
+    for i, name in enumerate(names):
+        sites = holders(tb, name)
+        for site in sites[:(i % len(sites))]:
+            site.server.corrupt_file(name, tag=f"at-rest@{seed}")
+    ticket = tb.request_manager.submit([(ds, n) for n in names])
+    tb.env.run(until=ticket.done)
+    for fr in ticket.files:
+        assert fr.state in (FileState.DONE, FileState.FAILED)
+    ops = [entry[1] for entry in tb.scheduler.audit_log]
+    grants = ops.count("grant")
+    releases = ops.count("release")
+    assert grants > 0
+    assert grants == releases
+    for server in tb.registry:
+        assert tb.scheduler.active_count(server) == 0
+        assert tb.scheduler.queue_depth(server) == 0

@@ -262,3 +262,41 @@ def test_property_accounting_under_pin_churn(ops):
             if c.kind(n) == "prefetch"))
     assert c.prefetch_used <= c.prefetch_share * c.capacity + 1e-9
     assert c.used <= c.capacity
+
+
+@given(st.lists(st.tuples(st.sampled_from(["put", "scan"]),
+                          st.integers(0, 9), st.integers(1, 30)),
+                min_size=1, max_size=80))
+@settings(max_examples=200, deadline=None)
+def test_property_pins_protect_checksum_scans(ops):
+    """A checksum verify scan pins the file it reads; however hard
+    demand churn presses on the cache, a file mid-scan is never evicted
+    and its pin count is exact. (The GridFTP CKSM path holds the HRM
+    stage pin for the whole scan — this is the cache-level contract.)"""
+    c = DiskCache(Environment(), capacity=100)
+    scanning = set()  # files with an in-progress verify scan
+    for op, key, size in ops:
+        name = f"f{key}"
+        if op == "put":
+            try:
+                c.put(FileObject(name, float(size)))
+            except NoSpaceError:
+                pass
+            # Whatever the eviction pass did, every mid-scan file is
+            # still resident and still pinned.
+            for n in scanning:
+                assert c.contains(n)
+                assert c.is_pinned(n)
+        else:  # toggle a scan: begin (pin) or finish (unpin)
+            if name in scanning:
+                c.unpin(name)
+                scanning.discard(name)
+            elif c.contains(name):
+                c.pin(name)
+                scanning.add(name)
+    for n in sorted(scanning):   # finish outstanding scans
+        c.unpin(n)
+        assert c.contains(n)     # release alone never evicts
+    assert not any(c.is_pinned(f"f{k}") for k in range(10))
+    assert c.used == pytest.approx(
+        sum(e.size for e in c._entries.values()))
