@@ -16,7 +16,12 @@ request manager:
   priority class, shared transfer scheduler), journals every per-file
   transition via RM lifecycle hooks, survives ``rm_crash`` fault
   injection by replaying the journal, and never re-transfers a file
-  the journal already shows VERIFIED.
+  the journal already shows VERIFIED;
+- :mod:`repro.campaign.reconcile` — the end-of-run certificate:
+  cross-checks the journal against the replica catalog, the
+  destination storage (re-digested), and the transfer scheduler's
+  per-flow byte accounting, itemizing every disagreement as a named
+  finding.
 """
 
 from repro.campaign.engine import ReplicationCampaign
@@ -31,14 +36,22 @@ from repro.campaign.manifest import (
     ManifestEntry,
     plan_campaign,
 )
+from repro.campaign.reconcile import (
+    Finding,
+    ReconciliationReport,
+    reconcile,
+)
 
 __all__ = [
     "CampaignJournal",
     "CampaignManifest",
     "CampaignState",
+    "Finding",
     "JournalRecord",
     "ManifestEntry",
+    "ReconciliationReport",
     "ReplayEntry",
     "ReplicationCampaign",
     "plan_campaign",
+    "reconcile",
 ]

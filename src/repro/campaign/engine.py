@@ -86,6 +86,10 @@ class ReplicationCampaign:
         self.attempts: Dict[str, int] = {}
         self._deliveries: Dict[str, int] = {}
         self._tickets: List = []
+        # every ticket id this campaign ever submitted (including ones
+        # cancelled by a crash) — the reconciliation join key against
+        # the scheduler's per-flow byte accounting.
+        self.ticket_ids: List[int] = []
         self._workers = 0
         self.down = False
         self.epoch = 0
@@ -146,6 +150,7 @@ class ReplicationCampaign:
                 [(e.collection, e.logical_file) for e in batch],
                 resolved=resolved)
             self._tickets.append(ticket)
+            self.ticket_ids.append(ticket.id)
             yield ticket.done
             if ticket in self._tickets:
                 self._tickets.remove(ticket)

@@ -9,6 +9,8 @@ Installed as the ``repro`` console script::
     repro portal VAR           # an ESG-II server-side subset request
     repro trace                # per-file NetLogger lifelines of a demo run
     repro metrics [--json]     # the same run's metrics registry
+    repro slo                  # per-tenant SLO burn-rate evaluation
+    repro report [--files N]   # campaign reconciliation certificate
 """
 
 from __future__ import annotations
@@ -111,11 +113,13 @@ def _demo_fetch(seed: int):
 
 def _cmd_trace(args) -> int:
     from repro.netlogger import (failure_breakdown, reconstruct_lifelines,
-                                 stage_breakdown, ttfb_values)
+                                 reconstruction_report, stage_breakdown,
+                                 ttfb_values)
     tb = _demo_fetch(args.seed)
     lifelines = reconstruct_lifelines(tb.logger.records)
     lives = sorted(lifelines.values(),
                    key=lambda life: (life.requested_at or 0.0, life.file))
+    print(reconstruction_report(lives, dropped=tb.logger.dropped).render())
     print(f"=== lifelines ({len(lives)} files, seed {args.seed}) ===")
     for life in lives:
         dur = (f"{life.duration:7.2f}s" if life.duration is not None
@@ -159,11 +163,101 @@ def _cmd_metrics(args) -> int:
     import json
     tb = _demo_fetch(args.seed)
     if args.json:
-        print(json.dumps(tb.obs.metrics.to_json(), indent=2,
-                         sort_keys=True))
+        doc = tb.obs.metrics.to_json()
+        doc["netlogger"] = {"emitted": tb.logger.emitted,
+                            "dropped": tb.logger.dropped}
+        print(json.dumps(doc, indent=2, sort_keys=True))
     else:
-        print(tb.obs.metrics.render_prometheus(), end="")
+        text = tb.obs.metrics.render_prometheus()
+        print(text, end="" if text.endswith("\n") else "\n")
+        # the event log's own health: a nonzero dropped count means
+        # lifeline reconstruction downstream is working from holes.
+        print(f"# netlogger_events_emitted {tb.logger.emitted}")
+        print(f"# netlogger_events_dropped {tb.logger.dropped}")
     return 0
+
+
+def _cmd_slo(args) -> int:
+    from repro.net.units import mbps
+    from repro.obs.slo import SloEngine, SloSpec
+    from repro.rm.scheduler import SchedulerConfig
+    from repro.scenarios import EsgTestbed
+
+    tb = EsgTestbed(seed=args.seed, with_tape=True,
+                    file_size_override=24 * 2**20,
+                    scheduler=SchedulerConfig())
+    tb.start_timeseries()
+    engine = SloEngine(tb.env, tb.obs, eval_interval=15.0)
+    engine.add(SloSpec("client-ttfb", "p95_ttfb",
+                       threshold=args.ttfb, tenant="client",
+                       long_window=240.0, short_window=60.0))
+    engine.add(SloSpec("client-queue", "queue_wait_p95",
+                       threshold=10.0, tenant="client",
+                       long_window=240.0, short_window=60.0))
+    engine.add(SloSpec("client-goodput", "goodput_floor",
+                       threshold=mbps(1) / 8, tenant="client",
+                       long_window=240.0, short_window=60.0))
+    engine.start()
+    tb.warm_nws(120.0)
+    ds = tb.dataset_ids()[0]
+    names = tb.metadata_catalog.resolve(ds, "tas")[:8]
+    ticket = tb.request_manager.submit([(ds, n) for n in names])
+    tb.env.run(until=ticket.done)
+    tb.env.run(until=tb.env.now + 60.0)
+    print(f"=== SLO summary at t={tb.env.now:.0f}s "
+          f"(seed {args.seed}) ===")
+    header = (f"{'slo':<16} {'tenant':<8} {'objective':<16} "
+              f"{'value':>10} {'burn L/S':>12} {'state':<9} alerts")
+    print(header)
+    for row in engine.summary():
+        value = ("-" if row["value"] is None
+                 else f"{row['value']:.3f}")
+        burn = f"{row['burn_long']:.2f}/{row['burn_short']:.2f}"
+        state = "BREACHING" if row["breaching"] else "ok"
+        print(f"{row['slo']:<16} {row['tenant']:<8} "
+              f"{row['objective']:<16} {value:>10} {burn:>12} "
+              f"{state:<9} {row['alerts']}")
+    for alert in engine.alerts:
+        closed = (f"closed {alert.closed_at:.0f}s"
+                  if alert.closed_at is not None else "OPEN")
+        print(f"breach: {alert.spec} tenant={alert.tenant} "
+              f"opened {alert.opened_at:.0f}s {closed} "
+              f"peak burn {alert.peak_burn:.2f}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.campaign import (CampaignManifest, ReplicationCampaign,
+                                plan_campaign, reconcile)
+    from repro.data.digest import add_mark
+    from repro.gridftp.protocol import GridFtpConfig
+    from repro.net.units import mbps
+    from repro.rm.scheduler import SchedulerConfig
+    from repro.scenarios import EsgTestbed
+
+    tb = EsgTestbed(seed=args.seed, with_tape=True,
+                    file_size_override=16 * 2**20,
+                    scheduler=SchedulerConfig())
+    tb.warm_nws(90.0)
+    cfg = GridFtpConfig(parallelism=4, verify_checksum=True)
+    rm = tb.add_client("mirror", downlink=mbps(622), config=cfg)
+    ds = tb.dataset_ids()[0]
+    manifest, replicas = plan_campaign(tb.replica_catalog, [ds])
+    manifest = CampaignManifest(manifest.entries[:args.files])
+    campaign = ReplicationCampaign(tb.env, rm, manifest, replicas,
+                                   obs=tb.obs, name="mirror",
+                                   batch_size=4)
+    done = campaign.start()
+    tb.env.run(until=done)
+    if args.inject_discrepancy:
+        # tamper with a delivered copy after the fact: the certificate
+        # must catch silent post-delivery corruption.
+        victim = manifest.entries[0]
+        if rm.dest_fs.exists(victim.logical_file):
+            add_mark(rm.dest_fs.stat(victim.logical_file), "bitrot")
+    report = reconcile(campaign)
+    print(report.render())
+    return report.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -190,6 +284,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="metrics registry of a demo fetch")
     mt.add_argument("--json", action="store_true",
                     help="JSON export instead of Prometheus text")
+    sl = sub.add_parser("slo",
+                        help="per-tenant SLO burn-rate evaluation")
+    sl.add_argument("--ttfb", type=float, default=2.0,
+                    help="p95 TTFB bound in seconds (default 2.0)")
+    rp = sub.add_parser(
+        "report",
+        help="run a mirror campaign and print its reconciliation "
+             "certificate (exit 1 on discrepancies)")
+    rp.add_argument("--files", type=int, default=8,
+                    help="campaign size in files (default 8)")
+    rp.add_argument("--inject-discrepancy", action="store_true",
+                    help="corrupt one delivered file post-hoc (the "
+                         "report must exit nonzero)")
     return parser
 
 
@@ -201,6 +308,8 @@ _COMMANDS = {
     "portal": _cmd_portal,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
+    "slo": _cmd_slo,
+    "report": _cmd_report,
 }
 
 

@@ -105,12 +105,19 @@ class GridFtpServer:
                                host=self.hostname)
             return False
         self.active_connections += 1
+        if self.obs is not None:
+            self.obs.gauge("gridftp.server_connections",
+                           self.active_connections, host=self.hostname)
         return True
 
     def release_connection(self) -> None:
         """Give back a control-session slot (idempotent at zero)."""
         if self.active_connections > 0:
             self.active_connections -= 1
+            if self.obs is not None:
+                self.obs.gauge("gridftp.server_connections",
+                               self.active_connections,
+                               host=self.hostname)
 
     # -- fault injection ---------------------------------------------------
     def register_handle(self, handle) -> None:

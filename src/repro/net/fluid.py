@@ -267,6 +267,21 @@ class FluidNetwork:
         self._flush_now()
         return sum(f.rate for f in self._flow_map.values())
 
+    def link_load(self) -> Dict[str, float]:
+        """Per-link carried load (bytes/s) — the cheap probe form.
+
+        Flow rates only change at allocation events, so the current
+        rates are exact between events; unlike :meth:`snapshot` this
+        does not force a flush (no progress bookkeeping is advanced),
+        making it safe to call from a periodic gauge sampler without
+        taxing the hot path.
+        """
+        links: Dict[str, float] = {}
+        for flow in self._flow_map.values():
+            for link in flow.path:
+                links[link.name] = links.get(link.name, 0.0) + flow.rate
+        return links
+
     def snapshot(self) -> dict:
         """Diagnostic view: per-link utilization and flow placement.
 

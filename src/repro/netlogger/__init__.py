@@ -20,11 +20,13 @@ from repro.netlogger.analysis import (
     FaultWindow,
     Lifeline,
     LifeStage,
+    ReconstructionReport,
     StageStats,
     bandwidth_timeline,
     extract_fault_windows,
     failure_breakdown,
     reconstruct_lifelines,
+    reconstruction_report,
     stage_breakdown,
     summarize,
     ttfb_values,
@@ -37,6 +39,7 @@ __all__ = [
     "Lifeline",
     "LogRecord",
     "NetLogger",
+    "ReconstructionReport",
     "StageStats",
     "bandwidth_timeline",
     "extract_fault_windows",
@@ -44,6 +47,7 @@ __all__ = [
     "parse_ulm",
     "parse_ulm_log",
     "reconstruct_lifelines",
+    "reconstruction_report",
     "stage_breakdown",
     "summarize",
     "ttfb_values",

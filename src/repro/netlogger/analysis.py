@@ -126,10 +126,14 @@ def summarize(series: Iterable[RateSeries],
 MILESTONE_STAGES: Dict[str, str] = {
     "rm.request": "select",          # catalog lookup + forecast + rank
     "rm.select": "connect",          # control connection + auth
+    "rm.queue": "queue",             # scheduler admission queue wait
+    "rm.granted": "connect",         # admitted; connect resumes
     "gridftp.connect": "first_byte", # command setup, staging, data start
     "hrm.stage.request": "stage",    # tape → disk staging in progress
+    "tape.read.begin": "read",       # drive streaming the cartridge
     "hrm.stage.done": "first_byte",  # staging over; waiting on data again
     "gridftp.first_byte": "stream",  # bytes flowing
+    "rm.verify": "verify",           # checksum scan on arrival
     "rm.retry": "backoff",           # waiting out a retry round
 }
 
@@ -336,6 +340,12 @@ def _build_stages(life: Lifeline) -> None:
         stage_name = MILESTONE_STAGES.get(rec.event)
         if stage_name is None:
             continue
+        if (rec.event == "hrm.stage.done" and current is not None
+                and current[0] == "stream"):
+            # Cut-through: bytes were already flowing when staging
+            # finished — the client-visible phase does not regress to
+            # "waiting for first byte".
+            continue
         if current is not None:
             life.stages.append(LifeStage(current[0], current[1], rec.t))
         current = (stage_name, rec.t)
@@ -343,6 +353,71 @@ def _build_stages(life: Lifeline) -> None:
         # Run ended mid-flight: close the open stage at its own start so
         # durations stay well-defined (zero-length tail).
         life.stages.append(LifeStage(current[0], current[1], current[1]))
+
+
+@dataclass
+class ReconstructionReport:
+    """How much of the ULM log survived into usable lifelines.
+
+    A bounded ring buffer (``log_capacity``) drops the *oldest* records
+    first, so long runs lose the early milestones of early files —
+    their lifelines reconstruct without a request event or without a
+    terminal. This report makes that loss explicit instead of letting
+    incomplete lifelines silently vanish from downstream analysis.
+    """
+
+    total: int
+    complete: int
+    incomplete: List[Tuple[str, str]] = field(default_factory=list)
+    dropped: int = 0                 # ring-buffer evictions (if known)
+
+    @property
+    def incomplete_count(self) -> int:
+        return len(self.incomplete)
+
+    @property
+    def complete_fraction(self) -> float:
+        return self.complete / self.total if self.total else 1.0
+
+    def reasons(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for _file, reason in self.incomplete:
+            out[reason] = out.get(reason, 0) + 1
+        return dict(sorted(out.items()))
+
+    def render(self) -> str:
+        lines = [f"lifelines: {self.total} total, {self.complete} "
+                 f"complete ({self.complete_fraction:.0%}), "
+                 f"{self.incomplete_count} incomplete; "
+                 f"{self.dropped} log records dropped"]
+        for reason, n in self.reasons().items():
+            lines.append(f"  {reason}: {n}")
+        return "\n".join(lines)
+
+
+def reconstruction_report(lifelines: Iterable[Lifeline],
+                          dropped: int = 0) -> ReconstructionReport:
+    """Partition lifelines into complete vs incomplete, with reasons.
+
+    ``dropped`` is the source log's ring-buffer eviction count (pass
+    ``logger.dropped``), reported alongside so a nonzero incomplete
+    count can be traced to its cause.
+    """
+    if isinstance(lifelines, dict):
+        lifelines = lifelines.values()
+    lives = list(lifelines)
+    report = ReconstructionReport(total=len(lives), complete=0,
+                                  dropped=dropped)
+    for life in lives:
+        if life.requested_at is None:
+            report.incomplete.append((life.file, "no-request-event"))
+        elif life.outcome is None:
+            report.incomplete.append((life.file, "no-terminal-event"))
+        elif not life.complete:
+            report.incomplete.append((life.file, "missing-milestones"))
+        else:
+            report.complete += 1
+    return report
 
 
 def stage_breakdown(lifelines: Iterable[Lifeline]

@@ -29,18 +29,26 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.obs.trace import Span, Tracer
 from repro.sim.core import Environment
 
 
 @dataclass
 class Observability:
-    """The bundle instrumented components carry (all legs optional)."""
+    """The bundle instrumented components carry (all legs optional).
+
+    The analysis tier (``repro.obs.timeseries`` / ``critical_path`` /
+    ``slo``) reads this bundle; ``timeseries`` is attached by scenario
+    helpers (e.g. ``EsgTestbed.start_timeseries``) when windowed
+    recording is on.
+    """
 
     env: Environment
     logger: Optional[NetLogger] = None
     metrics: Optional[MetricsRegistry] = None
     tracer: Optional[Tracer] = None
+    timeseries: Optional[TimeSeriesRecorder] = None
 
     @classmethod
     def create(cls, env: Environment, host: str = "localhost",
@@ -51,7 +59,8 @@ class Observability:
         if logger is None:
             logger = NetLogger(env, host=host, prog=prog,
                                capacity=capacity)
-        return cls(env=env, logger=logger, metrics=MetricsRegistry(env),
+        return cls(env=env, logger=logger,
+                   metrics=MetricsRegistry(env, logger=logger),
                    tracer=Tracer(env))
 
     # -- guarded emit helpers --------------------------------------------
@@ -93,5 +102,6 @@ __all__ = [
     "MetricsRegistry",
     "Observability",
     "Span",
+    "TimeSeriesRecorder",
     "Tracer",
 ]

@@ -27,9 +27,67 @@ DEFAULT_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0,
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
+#: Where samples land once a metric's label-set budget is exhausted:
+#: one shared fold-over series, so totals stay exact while memory stays
+#: bounded (campaign-scale per-file labels cannot blow up the registry).
+OVERFLOW_KEY: LabelKey = (("overflow", "true"),)
+
 
 def _label_key(labels: Dict[str, object]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def quantile_from_counts(bounds: Tuple[float, ...], row: List[int],
+                         q: float) -> Optional[float]:
+    """Interpolated quantile from one cumulative-histogram count row.
+
+    ``row`` is per-bucket counts (+ trailing overflow), as stored by
+    :class:`Histogram` — or a *delta* of two such rows, which is how the
+    SLO engine evaluates sliding windows. Linear interpolation within
+    the bucket holding the q-th observation; the overflow bucket has no
+    upper bound, so quantiles landing there return ``inf``. ``None``
+    when the row is empty.
+    """
+    if not (0.0 <= q <= 1.0):
+        raise ValueError("q must be in [0, 1]")
+    n = sum(row)
+    if n == 0:
+        return None
+    target = q * n
+    running = 0
+    lo = 0.0
+    for i, bound in enumerate(bounds):
+        cnt = row[i]
+        if cnt and running + cnt >= target:
+            frac = (target - running) / cnt
+            return lo + frac * (bound - lo)
+        running += cnt
+        lo = bound
+    return float("inf")
+
+
+def count_over_threshold(bounds: Tuple[float, ...], row: List[int],
+                         threshold: float) -> float:
+    """Interpolated count of observations above ``threshold``.
+
+    Same row convention as :func:`quantile_from_counts`; observations
+    in the bucket straddling the threshold are apportioned linearly.
+    The SLO engine's error-budget arithmetic (fraction of requests over
+    the objective) is built on this.
+    """
+    total = float(sum(row))
+    below = 0.0
+    lo = 0.0
+    for i, bound in enumerate(bounds):
+        if bound <= threshold:
+            below += row[i]
+        else:
+            if threshold > lo:
+                below += row[i] * (threshold - lo) / (bound - lo)
+            return total - below
+        lo = bound
+    # threshold at/beyond the last finite bound: only overflow is above.
+    return float(row[-1])
 
 
 def _sanitize(name: str) -> str:
@@ -55,9 +113,27 @@ class Metric:
         self.help = help
         self._samples: Dict[LabelKey, float] = {}
         self._updated: Dict[LabelKey, float] = {}
+        # Cardinality guard (wired by the registry): at most this many
+        # distinct label sets; extra ones fold into OVERFLOW_KEY.
+        self.max_labelsets: Optional[int] = None
+        self.overflowed = 0          # samples folded into OVERFLOW_KEY
+        self._on_overflow = None     # registry callback (warning + counter)
 
     def labelsets(self) -> List[LabelKey]:
         return list(self._samples)
+
+    def _admit(self, key: LabelKey) -> LabelKey:
+        """Apply the label-cardinality bound: returns ``key`` or the
+        shared overflow key when the budget is exhausted."""
+        if (self.max_labelsets is None or key in self._samples
+                or key == OVERFLOW_KEY):
+            return key
+        if len(self._samples) < self.max_labelsets:
+            return key
+        self.overflowed += 1
+        if self._on_overflow is not None:
+            self._on_overflow(self)
+        return OVERFLOW_KEY
 
     def value(self, **labels) -> float:
         """The current value for one label set (0.0 if never touched)."""
@@ -101,7 +177,7 @@ class Counter(Metric):
     def inc(self, amount: float = 1.0, **labels) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        key = _label_key(labels)
+        key = self._admit(_label_key(labels))
         self._samples[key] = self._samples.get(key, 0.0) + amount
         self._touch(key)
 
@@ -112,12 +188,12 @@ class Gauge(Metric):
     kind = "gauge"
 
     def set(self, value: float, **labels) -> None:
-        key = _label_key(labels)
+        key = self._admit(_label_key(labels))
         self._samples[key] = float(value)
         self._touch(key)
 
     def add(self, amount: float, **labels) -> None:
-        key = _label_key(labels)
+        key = self._admit(_label_key(labels))
         self._samples[key] = self._samples.get(key, 0.0) + amount
         self._touch(key)
 
@@ -139,7 +215,7 @@ class Histogram(Metric):
         self._counts: Dict[LabelKey, int] = {}
 
     def observe(self, value: float, **labels) -> None:
-        key = _label_key(labels)
+        key = self._admit(_label_key(labels))
         row = self._buckets.get(key)
         if row is None:
             row = [0] * (len(self.bounds) + 1)
@@ -168,22 +244,24 @@ class Histogram(Metric):
     def total_count(self) -> int:
         return sum(self._counts.values())
 
-    def quantile(self, q: float, **labels) -> Optional[float]:
-        """Bucket-resolution quantile estimate (upper bound of the
-        bucket holding the q-th observation); None if empty."""
-        if not (0.0 <= q <= 1.0):
-            raise ValueError("q must be in [0, 1]")
+    def bucket_row(self, **labels) -> Optional[List[int]]:
+        """A copy of one label set's per-bucket counts (+ overflow);
+        ``None`` if the label set was never observed. Snapshots of this
+        row diffed over time give *windowed* distributions — the SLO
+        engine's sliding-window quantiles."""
         row = self._buckets.get(_label_key(labels))
-        n = self.count(**labels)
-        if row is None or n == 0:
+        return list(row) if row is not None else None
+
+    def quantile(self, q: float, **labels) -> Optional[float]:
+        """Quantile estimate, linearly interpolated within the bucket
+        holding the q-th observation; None if empty, ``inf`` when the
+        quantile lands in the unbounded overflow bucket."""
+        row = self._buckets.get(_label_key(labels))
+        if row is None:
+            if not (0.0 <= q <= 1.0):
+                raise ValueError("q must be in [0, 1]")
             return None
-        target = q * n
-        running = 0
-        for i, bound in enumerate(self.bounds):
-            running += row[i]
-            if running >= target:
-                return bound
-        return float("inf")
+        return quantile_from_counts(self.bounds, row, q)
 
     def render(self) -> List[str]:
         name = _sanitize(self.name)
@@ -224,21 +302,55 @@ class Histogram(Metric):
 
 
 class MetricsRegistry:
-    """Get-or-create home for every metric of a simulation run."""
+    """Get-or-create home for every metric of a simulation run.
 
-    def __init__(self, env: Environment):
+    Parameters
+    ----------
+    max_labelsets:
+        Distinct label sets each metric may hold before further new
+        label sets fold into one shared overflow series (``None``
+        disables the guard). Folded samples are counted in
+        ``obs.labelsets_dropped_total{metric=...}`` and announced once
+        per metric as an ``obs.cardinality.overflow`` ULM warning.
+    logger:
+        Optional :class:`~repro.netlogger.log.NetLogger` the overflow
+        warning is emitted to (wired by ``Observability.create``).
+    """
+
+    def __init__(self, env: Environment,
+                 max_labelsets: Optional[int] = 1024, logger=None):
+        if max_labelsets is not None and max_labelsets < 1:
+            raise ValueError("max_labelsets must be >= 1 when set")
         self.env = env
+        self.max_labelsets = max_labelsets
+        self.logger = logger
         self._metrics: Dict[str, Metric] = {}
+        self._overflow_warned: set = set()
 
     def _get(self, cls, name: str, help: str, **kwargs) -> Metric:
         metric = self._metrics.get(name)
         if metric is None:
             metric = cls(self.env, name, help, **kwargs)
+            metric.max_labelsets = self.max_labelsets
+            metric._on_overflow = self._overflow
             self._metrics[name] = metric
         elif not isinstance(metric, cls):
             raise TypeError(f"metric {name!r} already registered as "
                             f"{metric.kind}")
         return metric
+
+    def _overflow(self, metric: Metric) -> None:
+        """One metric just folded a sample into its overflow series."""
+        if metric.name != "obs.labelsets_dropped_total":
+            self.counter("obs.labelsets_dropped_total",
+                         help="samples folded by the cardinality guard"
+                         ).inc(metric=metric.name)
+        if metric.name not in self._overflow_warned:
+            self._overflow_warned.add(metric.name)
+            if self.logger is not None:
+                self.logger.event("obs.cardinality.overflow", prog="obs",
+                                  metric=metric.name,
+                                  limit=str(metric.max_labelsets))
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get(Counter, name, help)

@@ -109,8 +109,10 @@ class RequestManager:
                  config: Optional[GridFtpConfig] = None,
                  resilience: Optional[ResiliencePolicy] = None,
                  obs: Optional[Observability] = None,
-                 scheduler: Optional[TransferScheduler] = None):
+                 scheduler: Optional[TransferScheduler] = None,
+                 tenant: str = "default"):
         self.env = env
+        self.tenant = tenant
         self.catalog = catalog
         self.mds = mds
         self.client = client
@@ -582,12 +584,30 @@ class RequestManager:
                                         if ticket is not None else None),
                                  file=fr.logical_file, host=loc.hostname)
         self._hook("attempt", fr, host=loc.hostname, location=loc.name)
+        tfields = ({"ticket": str(ticket.id)}
+                   if ticket is not None else {})
+        if self.scheduler is not None and self.logger is not None:
+            # Lifeline milestone: admission-queue wait starts here and
+            # ends at rm.granted, so queue time is blamed on the
+            # scheduler rather than folded into connect time.
+            self.logger.event("rm.queue", prog="request-manager",
+                              file=fr.logical_file, host=loc.hostname,
+                              **tfields)
         grant, err, fclass = yield from self._acquire_slot(
             fr, loc, ticket, handle)
         if err is not None:
             if span is not None:
                 span.finish(status="error", error="admission")
             return False, err, fclass
+        if grant is not None:
+            if self.logger is not None:
+                self.logger.event("rm.granted", prog="request-manager",
+                                  file=fr.logical_file,
+                                  host=loc.hostname,
+                                  waited=f"{grant.waited:.3f}", **tfields)
+            if self.obs is not None:
+                self.obs.observe("rm.queue_seconds", grant.waited,
+                                 tenant=self.tenant)
         # Admitted: the grant's stream budget replaces the configured
         # maximum, so the server's parallel-stream budget is split
         # across admitted transfers instead of multiplied by them.
@@ -653,24 +673,28 @@ class RequestManager:
                                  self.client.transport.network.topology.rtt(
                                      server.host.node,
                                      self.dest_host.node) / 2)
-            if self.logger is not None:
-                extra = ({"ticket": str(ticket.id)}
-                         if ticket is not None else {})
-                self.logger.event("rm.transfer.done",
-                                  prog="request-manager",
-                                  file=fr.logical_file, host=loc.hostname,
-                                  bytes=f"{stats.transferred_bytes:.0f}",
-                                  seconds=f"{elapsed:.3f}", **extra)
+            extra = ({"ticket": str(ticket.id)}
+                     if ticket is not None else {})
             if self.obs is not None:
                 self.obs.count("rm.transfers_total", host=loc.hostname)
                 self.obs.count("rm.transfer_bytes_total",
                                stats.transferred_bytes, host=loc.hostname)
+                self.obs.count("rm.tenant_bytes_total",
+                               stats.transferred_bytes, tenant=self.tenant)
                 self.obs.observe("rm.transfer_seconds", elapsed)
                 if handle.first_byte_at is not None:
-                    self.obs.observe("rm.ttfb_seconds",
-                                     handle.first_byte_at - connected_at)
+                    ttfb = handle.first_byte_at - connected_at
+                    self.obs.observe("rm.ttfb_seconds", ttfb)
+                    self.obs.observe("rm.tenant_ttfb_seconds", ttfb,
+                                     tenant=self.tenant)
             self._hook("delivered", fr, host=loc.hostname,
                        location=loc.name, bytes=stats.transferred_bytes)
+            if self.logger is not None:
+                # Milestone: closes the stream stage, so checksum time
+                # is blamed on verify rather than on the WAN.
+                self.logger.event("rm.verify", prog="request-manager",
+                                  file=fr.logical_file, host=loc.hostname,
+                                  **extra)
             ok, verr = yield from self._verify_arrival(fr, loc, cfg, stats)
             if not ok:
                 # Quarantine + delete happened inside _verify_arrival;
@@ -680,6 +704,15 @@ class RequestManager:
                     span.finish(status="error", error="integrity")
                 session.close()
                 return False, verr, FailureClass.INTEGRITY
+            if self.logger is not None:
+                # Terminal event only once the delivered bytes passed
+                # (or skipped) verification — an integrity-failed
+                # attempt must not leave a "done" lifeline behind.
+                self.logger.event("rm.transfer.done",
+                                  prog="request-manager",
+                                  file=fr.logical_file, host=loc.hostname,
+                                  bytes=f"{stats.transferred_bytes:.0f}",
+                                  seconds=f"{elapsed:.3f}", **extra)
             if span is not None:
                 span.finish(status="ok", bytes=stats.transferred_bytes)
             session.close()
@@ -720,6 +753,8 @@ class RequestManager:
             if self.obs is not None:
                 self.obs.count("rm.verifies_total", outcome="ok")
                 self.obs.observe("rm.verify_seconds", scan)
+                self.obs.observe("rm.tenant_verify_seconds", scan,
+                                 tenant=self.tenant)
             self._hook("verified", fr, host=loc.hostname,
                        location=loc.name, seconds=scan,
                        bytes=stats.transferred_bytes)

@@ -63,7 +63,7 @@ class TransferMonitor:
         return out[-limit:]
 
     # -- rendering --------------------------------------------------------
-    def render(self, bar_width: int = 30, max_messages: int = 8) -> str:
+    def render(self, bar_width: int = 30, max_messages: int = 12) -> str:
         """A Figure 4-style text snapshot."""
         t = self.env.now
         lines = [f"=== Request #{self.ticket.id} at t={t:.1f}s ==="]

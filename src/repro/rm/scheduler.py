@@ -42,7 +42,7 @@ replay and verify the invariants at every simulated instant.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.core import Environment
 from repro.sim.events import Event
@@ -344,6 +344,14 @@ class TransferScheduler:
         """Admitted (in-flight) transfers on one server."""
         ss = self._servers.get(server)
         return ss.active if ss is not None else 0
+
+    def flow_bytes(self, flows: Iterable[str]) -> float:
+        """Total bytes the scheduler accounted to the given flow keys.
+
+        Reconciliation cross-check: a campaign's delivered bytes must
+        not exceed what its admission grants actually moved.
+        """
+        return sum(self.ticket_bytes.get(flow, 0.0) for flow in flows)
 
     def stats(self) -> Dict[str, object]:
         """Aggregate instrumentation snapshot."""

@@ -158,6 +158,8 @@ class EsgTestbed:
         # One observability bundle for the whole testbed: the shared ULM
         # log above plus a metrics registry and tracer (repro.obs).
         self.obs = Observability.create(env, logger=self.logger)
+        # attached by start_timeseries() when windowed recording is on
+        self.timeseries = None
 
         # -- security fabric
         ca = CertificateAuthority("DOE Science Grid CA")
@@ -254,7 +256,7 @@ class EsgTestbed:
             reliability=reliability, nws=self.nws, logger=self.logger,
             config=config or GridFtpConfig(parallelism=4),
             resilience=resilience, obs=self.obs,
-            scheduler=self.scheduler)
+            scheduler=self.scheduler, tenant="client")
 
         # -- the user's analysis tool
         from repro.cdat.client import CdatClient
@@ -387,8 +389,86 @@ class EsgTestbed:
             self.env, self.replica_catalog, self.mds, client,
             self.registry, host, fs, nws=self.nws, logger=self.logger,
             config=cfg, obs=self.obs,
-            resilience=resilience, scheduler=self.scheduler)
+            resilience=resilience, scheduler=self.scheduler,
+            tenant=name)
         return rm
+
+    # -- windowed gauge recording ------------------------------------------------
+    def start_timeseries(self, interval: float = 5.0):
+        """Attach and start a :class:`TimeSeriesRecorder` over the
+        testbed's live gauges (idempotent; returns the recorder).
+
+        Standard probe families — the resource join keys the
+        critical-path attribution in :mod:`repro.obs.critical_path`
+        expects:
+
+        - ``link.wan-<site>.util`` — WAN link utilization in [0, 1]
+          (both directions pooled against live capacity);
+        - ``tape.<library>.busy`` / ``tape.<library>.queue`` — drives
+          in service (normalized) and jobs waiting;
+        - ``cache.<name>.occupancy`` — staging DiskCache fill fraction;
+        - ``sched.<host>.depth`` / ``sched.<host>.active`` — admission
+          queue depth and in-flight grants per server (with a shared
+          scheduler);
+        - ``server.<host>.conns`` — open GridFTP control connections.
+        """
+        from repro.obs.timeseries import TimeSeriesRecorder
+        if self.obs.timeseries is not None:
+            return self.obs.timeseries
+        ts = TimeSeriesRecorder(self.env, interval=interval)
+
+        wan = sorted({link.name.rsplit(":", 1)[0]
+                      for link in self.topology.links.values()
+                      if link.name.startswith("wan-")})
+
+        def _link_util():
+            load = self.network.link_load()
+            out = {}
+            for base in wan:
+                used = cap = 0.0
+                for suffix in (":fwd", ":rev"):
+                    link = self.topology.links.get(base + suffix)
+                    if link is None:
+                        continue
+                    cap += link.capacity
+                    used += load.get(link.name, 0.0)
+                out[f"link.{base}.util"] = used / cap if cap > 0 else 0.0
+            return out
+
+        ts.add_multi_probe(_link_util)
+        for site in self.sites.values():
+            if site.hrm is None:
+                continue
+            lib = site.hrm.mss.tape
+            cache = site.hrm.mss.cache
+            ts.add_probe(
+                f"tape.{lib.name}.busy",
+                lambda lib=lib: (lib.busy_drive_count / len(lib.drives)))
+            ts.add_probe(f"tape.{lib.name}.queue",
+                         lambda lib=lib: float(lib.queue_length))
+            ts.add_probe(f"cache.{cache.name}.occupancy",
+                         lambda cache=cache: cache.occupancy)
+        if self.scheduler is not None:
+            def _sched():
+                out = {}
+                for hostname in self.registry:
+                    out[f"sched.{hostname}.depth"] = \
+                        float(self.scheduler.queue_depth(hostname))
+                    out[f"sched.{hostname}.active"] = \
+                        float(self.scheduler.active_count(hostname))
+                return out
+            ts.add_multi_probe(_sched)
+
+        def _conns():
+            return {f"server.{hostname}.conns":
+                    float(server.active_connections)
+                    for hostname, server in self.registry.items()}
+
+        ts.add_multi_probe(_conns)
+        ts.start()
+        self.obs.timeseries = ts
+        self.timeseries = ts
+        return ts
 
     # -- ESG-II: DODS-protocol access to the same archive -----------------------
     def enable_dods(self):

@@ -78,6 +78,11 @@ class DiskCache:
         """Unreserved bytes."""
         return self.capacity - self.used
 
+    @property
+    def occupancy(self) -> float:
+        """Used fraction in [0, 1] (gauge probe)."""
+        return self.used / self.capacity
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -239,6 +239,11 @@ class TapeLibrary:
         return len(self._queue)
 
     @property
+    def busy_drive_count(self) -> int:
+        """Drives currently mounted/seeking/streaming (gauge probe)."""
+        return len(self.drives) - len(self._idle)
+
+    @property
     def idle_drive_count(self) -> int:
         """Drives with no job assigned right now."""
         return len(self._idle)
@@ -405,6 +410,12 @@ class TapeLibrary:
             if seek > 0.0:
                 yield self.env.timeout(seek)
             drive.head = job.position
+            if self.obs is not None and job.op == "read":
+                # Milestone: mount/seek overhead ends here; lifeline
+                # analysis blames the time after this on streaming.
+                self.obs.event("tape.read.begin", prog="tape",
+                               host=self.name, drive=drive.name,
+                               tape=job.tape, file=job.name)
             if job.progress is not None:
                 job.progress._start(spec.read_rate)
             yield self.env.timeout(job.file.size / spec.read_rate)

@@ -1,0 +1,121 @@
+"""Four-ledger campaign reconciliation."""
+
+import pytest
+
+from repro.campaign import (CampaignState, ReplicationCampaign,
+                            plan_campaign, reconcile)
+from repro.data.digest import add_mark
+from repro.gridftp import GridFtpConfig
+from repro.rm.scheduler import SchedulerConfig
+from repro.scenarios.esg import EsgTestbed
+
+
+def make_campaign(seed=1, verify=True, **campaign_kw):
+    tb = EsgTestbed(seed=seed, years=1, with_tape=False,
+                    file_size_override=256 * 1024,
+                    scheduler=SchedulerConfig(max_queue_depth=1024))
+    manifest, replicas = plan_campaign(tb.replica_catalog)
+    rm = tb.add_client("mirror",
+                       config=GridFtpConfig(parallelism=2,
+                                            verify_checksum=verify))
+    campaign_kw.setdefault("batch_size", 8)
+    campaign_kw.setdefault("max_inflight", 3)
+    camp = ReplicationCampaign(tb.env, rm, manifest, replicas,
+                               **campaign_kw)
+    return tb, rm, manifest, camp
+
+
+def run_campaign(tb, camp):
+    camp.start()
+    p = tb.env.process(camp.wait())
+    tb.env.run(until=p)
+    return p.value
+
+
+def test_clean_campaign_is_certified():
+    tb, rm, manifest, camp = make_campaign()
+    run_campaign(tb, camp)
+    report = reconcile(camp)
+    assert report.clean and report.exit_code == 0
+    assert report.files == len(manifest)
+    assert report.verified_files == len(manifest)
+    assert report.verified_bytes == pytest.approx(manifest.total_bytes)
+    assert report.states == {"verified": len(manifest)}
+    # every verified file is attributed to a source site
+    assert sum(t.files for t in report.sites.values()) == len(manifest)
+    # the scheduler's independent ledger covers the journal's bytes
+    assert report.scheduler_bytes is not None
+    assert report.scheduler_bytes >= manifest.total_bytes - 0.5
+    text = report.render()
+    assert "verdict: CLEAN (0 discrepancies)" in text
+    assert "per-site deliveries" in text
+
+
+def test_post_hoc_corruption_is_flagged_per_file():
+    tb, rm, manifest, camp = make_campaign(seed=2)
+    run_campaign(tb, camp)
+    victim = manifest.entries[0]
+    add_mark(rm.dest_fs.stat(victim.logical_file), "bitrot")
+    report = reconcile(camp)
+    assert not report.clean and report.exit_code == 1
+    hits = [f for f in report.discrepancies
+            if f.name == "destination-digest-mismatch"]
+    assert [f.file for f in hits] == [victim.key]
+    assert "DISCREPANT" in report.render()
+
+
+def test_deleted_destination_file_is_flagged():
+    tb, rm, manifest, camp = make_campaign(seed=3)
+    run_campaign(tb, camp)
+    victim = manifest.entries[-1]
+    rm.dest_fs.delete(victim.logical_file)
+    report = reconcile(camp)
+    hits = [f for f in report.discrepancies
+            if f.name == "verified-missing-on-destination"]
+    assert [f.file for f in hits] == [victim.key]
+
+
+def test_interrupted_campaign_is_not_certified():
+    """Reconciling mid-flight: files the journal has not carried to a
+    terminal state are discrepancies, not silent omissions."""
+    tb, rm, manifest, camp = make_campaign(seed=4)
+    camp.start()
+    tb.env.run(until=0.5)   # interrupt long before completion
+    report = reconcile(camp)
+    assert not report.clean
+    names = {f.name for f in report.discrepancies}
+    assert names <= {"journal-missing", "journal-nonterminal",
+                     "scheduler-bytes-short", "journal-counter-drift"}
+    assert names & {"journal-missing", "journal-nonterminal"}
+    # per-state table still accounts for every manifest entry
+    assert sum(report.states.values()) == len(manifest)
+
+
+def test_failed_files_count_but_are_not_discrepancies():
+    """A file the campaign *gave up on* is terminal and honestly
+    journaled — the report itemizes it without failing certification."""
+    tb, rm, manifest, camp = make_campaign(seed=5, max_file_attempts=2)
+    rm.config.retry_limit = 1
+    rm.config.retry_backoff = 0.5
+    victim = manifest.entries[0]
+    for site in tb.sites.values():
+        if site.fs.exists(victim.logical_file):
+            site.server.corrupt_file(victim.logical_file,
+                                     tag="at-rest@everywhere")
+    run_campaign(tb, camp)
+    report = reconcile(camp)
+    assert report.states.get("failed") == 1
+    assert report.states.get("verified") == len(manifest) - 1
+    assert report.verified_files == len(manifest) - 1
+    assert camp.journal.state(victim.key) is CampaignState.FAILED
+    assert all(f.file != victim.key for f in report.discrepancies)
+    assert report.clean
+
+
+def test_without_scheduler_ledger_check_is_skipped(monkeypatch):
+    tb, rm, manifest, camp = make_campaign(seed=6)
+    run_campaign(tb, camp)
+    monkeypatch.setattr(rm, "scheduler", None)
+    report = reconcile(camp)
+    assert report.scheduler_bytes is None
+    assert report.clean

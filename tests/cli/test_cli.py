@@ -85,3 +85,60 @@ def test_metrics_command_json(capsys):
     assert blob["metrics"]["rm.transfers_total"]["type"] == "counter"
     samples = blob["metrics"]["rm.transfers_total"]["samples"]
     assert sum(s["value"] for s in samples) > 0
+
+
+def test_parser_grammar_slo_and_report():
+    parser = build_parser()
+    args = parser.parse_args(["slo", "--ttfb", "1.5"])
+    assert args.command == "slo" and args.ttfb == 1.5
+    args = parser.parse_args(["report", "--files", "4",
+                              "--inject-discrepancy"])
+    assert args.command == "report"
+    assert args.files == 4 and args.inject_discrepancy
+
+
+def test_trace_command_reports_reconstruction(capsys):
+    assert main(["--seed", "4", "trace"]) == 0
+    out = capsys.readouterr().out
+    assert "lifelines:" in out
+    assert "log records dropped" in out
+
+
+def test_metrics_command_shows_netlogger_drops(capsys):
+    assert main(["--seed", "4", "metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "# netlogger_events_emitted" in out
+    assert "# netlogger_events_dropped" in out
+
+
+def test_metrics_json_includes_netlogger_section(capsys):
+    import json
+    assert main(["--seed", "4", "metrics", "--json"]) == 0
+    blob = json.loads(capsys.readouterr().out)
+    assert blob["netlogger"]["emitted"] > 0
+    assert blob["netlogger"]["dropped"] >= 0
+
+
+def test_slo_command(capsys):
+    assert main(["--seed", "4", "slo"]) == 0
+    out = capsys.readouterr().out
+    assert "=== SLO summary" in out
+    assert "client-ttfb" in out
+    assert "client-goodput" in out
+    # staging off tape blows a 2 s TTFB bound: the engine must page
+    assert "BREACHING" in out or "breach:" in out
+
+
+def test_report_command_clean_certificate(capsys):
+    assert main(["--seed", "4", "report", "--files", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "reconciliation report" in out
+    assert "verdict: CLEAN (0 discrepancies)" in out
+
+
+def test_report_command_detects_injected_corruption(capsys):
+    assert main(["--seed", "4", "report", "--files", "4",
+                 "--inject-discrepancy"]) == 1
+    out = capsys.readouterr().out
+    assert "destination-digest-mismatch" in out
+    assert "DISCREPANT" in out

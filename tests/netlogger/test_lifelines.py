@@ -187,3 +187,52 @@ def test_chaos_schedule_attributes_each_fault_to_one_lifeline():
         assert life.complete
         assert sum(life.stage_totals().values()) == \
             pytest.approx(life.duration)
+
+
+def test_reconstruction_report_unit_partitions_and_reasons():
+    from repro.netlogger import reconstruction_report
+    records = [
+        rec(0.0, "rm.request", file="done"),
+        rec(1.0, "rm.select", file="done"),
+        rec(2.0, "gridftp.connect", file="done"),
+        rec(3.0, "gridftp.first_byte", file="done"),
+        rec(4.0, "rm.transfer.done", file="done"),
+        rec(5.0, "rm.request", file="open"),
+        rec(6.0, "rm.transfer.done", file="headless"),
+    ]
+    report = reconstruction_report(reconstruct_lifelines(records),
+                                   dropped=7)
+    assert report.total == 3
+    assert report.complete == 1
+    assert report.complete_fraction == pytest.approx(1 / 3)
+    assert report.reasons() == {"no-request-event": 1,
+                                "no-terminal-event": 1}
+    text = report.render()
+    assert "3 total, 1 complete (33%)" in text
+    assert "7 log records dropped" in text
+    assert "no-request-event: 1" in text
+
+
+def test_ring_buffer_eviction_surfaces_as_incomplete_lifelines():
+    """A tiny ULM ring buffer evicts early milestones; the
+    reconstruction report must account for every lost lifeline and
+    surface the eviction count instead of silently shrinking."""
+    from repro.netlogger import reconstruction_report
+    tb = EsgTestbed(seed=7, file_size_override=20 * 2**20,
+                    log_capacity=60)
+    tb.warm_nws(90.0)
+    ds = tb.dataset_ids()[0]
+    names = tb.metadata_catalog.resolve(ds, "tas")[:6]
+    ticket = tb.request_manager.submit([(ds, n) for n in names])
+    tb.env.run(until=ticket.done)
+
+    assert tb.logger.dropped > 0, "capacity too large to evict anything"
+    lifelines = reconstruct_lifelines(tb.logger.records)
+    report = reconstruction_report(lifelines, dropped=tb.logger.dropped)
+    assert report.dropped == tb.logger.dropped
+    assert report.total == len(lifelines)
+    # eviction cost at least one early file its request milestone
+    assert report.incomplete_count > 0
+    assert "no-request-event" in report.reasons()
+    assert report.complete + report.incomplete_count == report.total
+    assert report.complete_fraction < 1.0

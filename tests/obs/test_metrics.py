@@ -82,3 +82,59 @@ def test_json_export_is_serializable_with_sim_timestamps(env):
     sample = blob["metrics"]["c"]["samples"][0]
     assert sample["value"] == 1.0
     assert sample["t"] == 5.0
+
+
+def test_quantile_interpolates_within_the_bucket(env):
+    """Directed p95: 10 obs in (0,1], 10 in (1,2] puts the 95th
+    percentile 9/10 of the way through the second bucket."""
+    h = Histogram(env, "lat", buckets=(1.0, 2.0, 4.0))
+    for _ in range(10):
+        h.observe(0.5)
+    for _ in range(10):
+        h.observe(1.5)
+    assert h.quantile(0.95) == pytest.approx(1.9)
+    assert h.quantile(0.5) == pytest.approx(1.0)
+    assert h.quantile(0.25) == pytest.approx(0.5)
+
+
+def test_quantile_helpers_on_raw_rows():
+    from repro.obs.metrics import count_over_threshold, quantile_from_counts
+    bounds = (1.0, 2.0, 4.0)
+    row = [10, 10, 0, 0]          # one slot per bound + overflow
+    assert quantile_from_counts(bounds, row, 0.95) == pytest.approx(1.9)
+    # threshold mid-bucket: half the second bucket is above 1.5
+    assert count_over_threshold(bounds, row, 1.5) == pytest.approx(5.0)
+    assert count_over_threshold(bounds, row, 4.0) == 0.0
+    assert quantile_from_counts(bounds, [0, 0, 0, 0], 0.5) is None
+
+
+def test_label_cardinality_guard_bounds_labelsets(env):
+    from repro.netlogger import NetLogger
+    logger = NetLogger(env)
+    reg = MetricsRegistry(env, max_labelsets=2, logger=logger)
+    c = reg.counter("rm.requests_total")
+    for i in range(5):
+        c.inc(host=f"site-{i}")   # 3 of these exceed the bound
+    assert c.overflowed == 3
+    # overflowing increments land on the sentinel series, not new ones
+    assert c.value(overflow="true") == 3.0
+    assert c.value(host="site-0") == 1.0
+    assert c.value(host="site-4") == 0.0
+    # the registry self-metric counts the drops per metric
+    drops = reg.counter("obs.labelsets_dropped_total")
+    assert drops.value(metric="rm.requests_total") == 3.0
+    # exactly one ULM warning, not one per dropped labelset
+    warnings = [r for r in logger.records
+                if r.event == "obs.cardinality.overflow"]
+    assert len(warnings) == 1
+    assert warnings[0].fields["metric"] == "rm.requests_total"
+
+
+def test_cardinality_guard_never_blocks_existing_labelsets(env):
+    reg = MetricsRegistry(env, max_labelsets=1)
+    g = reg.gauge("depth")
+    g.set(1.0, queue="a")         # occupies the single slot
+    g.set(9.0, queue="a")         # updates in place, no overflow
+    g.set(5.0, queue="b")         # rejected
+    assert g.value(queue="a") == 9.0
+    assert g.overflowed == 1
