@@ -13,6 +13,8 @@ from repro.sim import Environment
 
 def test_kernel_event_throughput(benchmark):
     """Fire 50k timeout events through the queue."""
+    import time
+
     def run():
         env = Environment()
         count = [0]
@@ -24,11 +26,25 @@ def test_kernel_event_throughput(benchmark):
 
         for _ in range(10):
             env.process(ticker(env, 5000))
+        t0 = time.perf_counter()
         env.run()
-        return count[0]
+        wall = time.perf_counter() - t0
+        return count[0], env.kernel_stats, wall
 
-    total = benchmark(run)
+    total, stats, wall = benchmark(run)
     assert total == 50_000
+    # The kernel's own accounting must agree with the workload: every
+    # timeout plus the 10 process bootstraps, nothing cancelled, and no
+    # compaction sweeps on a cancel-free run.
+    assert stats["queue"] == "calendar"
+    assert stats["events_dispatched"] == stats["events_scheduled"]
+    assert stats["events_dispatched"] >= 50_000
+    assert stats["events_cancelled"] == 0
+    assert stats["queue_compactions"] == 0
+    # events/sec guard: pure timer dispatch must stay well above the
+    # rate everything downstream was sized against.
+    assert stats["events_dispatched"] / wall > 100_000, (
+        f"kernel too slow: {stats['events_dispatched'] / wall:.0f} ev/s")
 
 
 def test_allocator_throughput(benchmark):

@@ -162,10 +162,12 @@ def _cmd_trace(args) -> int:
 def _cmd_metrics(args) -> int:
     import json
     tb = _demo_fetch(args.seed)
+    kernel = tb.env.kernel_stats
     if args.json:
         doc = tb.obs.metrics.to_json()
         doc["netlogger"] = {"emitted": tb.logger.emitted,
                             "dropped": tb.logger.dropped}
+        doc["kernel"] = kernel
         print(json.dumps(doc, indent=2, sort_keys=True))
     else:
         text = tb.obs.metrics.render_prometheus()
@@ -174,6 +176,13 @@ def _cmd_metrics(args) -> int:
         # lifeline reconstruction downstream is working from holes.
         print(f"# netlogger_events_emitted {tb.logger.emitted}")
         print(f"# netlogger_events_dropped {tb.logger.dropped}")
+        # simulator substrate health: dispatch volume and cancellation
+        # hygiene of the event kernel behind everything above.
+        print(f"# kernel_queue {kernel['queue']}")
+        print(f"# kernel_events_scheduled {kernel['events_scheduled']}")
+        print(f"# kernel_events_dispatched {kernel['events_dispatched']}")
+        print(f"# kernel_events_cancelled {kernel['events_cancelled']}")
+        print(f"# kernel_queue_compactions {kernel['queue_compactions']}")
     return 0
 
 

@@ -296,10 +296,11 @@ class ClientSession:
         """Stall watchdog for one block (mirrors Connection.send)."""
         env = self.env
         timeout = conn.params.stall_timeout
+        poll = conn.params.poll_interval(timeout)
         last_progress = flow.transferred
         last_change = env.now
         while flow.active:
-            tick = env.timeout(min(timeout / 4.0, 5.0))
+            tick = env.timeout(poll)
             yield env.any_of([flow.done, tick])
             if flow.done.processed:
                 break
@@ -492,7 +493,8 @@ class GridFtpClient:
         try:
             control = yield from self.transport.connect(
                 client_host.node, hostname,
-                TcpParams(stall_timeout=cfg.stall_timeout))
+                TcpParams(stall_timeout=cfg.stall_timeout,
+                          stall_poll=cfg.stall_poll))
         except ConnectionRefused as exc:
             server.release_connection()
             self._count_connect(hostname, "refused")
@@ -534,6 +536,7 @@ class GridFtpClient:
                 channels.append(cached)
         params = TcpParams(buffer_bytes=buffer_bytes,
                            stall_timeout=cfg.stall_timeout,
+                           stall_poll=cfg.stall_poll,
                            loss_rate=cfg.loss_rate)
         while len(channels) < needed:
             try:

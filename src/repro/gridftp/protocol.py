@@ -91,6 +91,16 @@ class GridFtpConfig:
     progress_poll:
         How often monitoring samples transferred bytes ("checking the
         file size ... every few seconds", §4).
+    progress_poll_max:
+        When set, the request manager's progress monitor backs off
+        exponentially from ``progress_poll`` up to this ceiling while a
+        transfer keeps making progress — large fleets use it so monitor
+        ticks don't dominate the event budget. ``None`` (default) keeps
+        the fixed-interval behaviour.
+    stall_poll:
+        Explicit watchdog tick for the transport/data-channel stall
+        detectors; ``None`` (default) polls at
+        ``min(stall_timeout / 4, 5)`` seconds.
     loss_rate:
         Random-loss events per second per data stream (models shared /
         congested paths; 0 = clean path).
@@ -107,6 +117,12 @@ class GridFtpConfig:
         whole file. Must be in (0, 1]: a strictly positive watermark
         guarantees the stage (and its cache pin) completes before the
         rate-capped transfer can drain the last byte.
+    record_series:
+        When True (default), request-manager transfers keep one closed
+        per-block RateSeries on their :class:`TransferStats` (feeds the
+        bandwidth timeline and critical-path attribution). Fleet-scale
+        runs turn this off: the recorders cost memory per block and pin
+        every flow to the exact (non-aggregated) fluid path.
     verify_checksum:
         When True, the request manager re-computes every delivered
         file's digest and compares it against the catalog's
@@ -126,10 +142,13 @@ class GridFtpConfig:
     retry_limit: int = 10
     retry_backoff: float = 5.0
     progress_poll: float = 2.0
+    progress_poll_max: Optional[float] = None
+    stall_poll: Optional[float] = None
     loss_rate: float = 0.0
     fallback_bandwidth: float = 125000.0  # 1 Mb/s
     fallback_latency: float = 0.1
     stage_watermark: Optional[float] = None
+    record_series: bool = True
     verify_checksum: bool = False
     checksum_rate: float = 150 * 2**20
 
@@ -144,6 +163,11 @@ class GridFtpConfig:
             raise ValueError("bad timeout configuration")
         if self.progress_poll <= 0:
             raise ValueError("progress_poll must be positive")
+        if (self.progress_poll_max is not None
+                and self.progress_poll_max < self.progress_poll):
+            raise ValueError("progress_poll_max must be >= progress_poll")
+        if self.stall_poll is not None and self.stall_poll <= 0:
+            raise ValueError("stall_poll must be positive")
         if self.loss_rate < 0:
             raise ValueError("loss_rate must be >= 0")
         if self.fallback_bandwidth <= 0 or self.fallback_latency < 0:

@@ -32,6 +32,24 @@ full-network synchronous recompute on every mutation — as the trusted
 baseline; the differential tests assert both modes agree on randomized
 workloads.
 
+**Flow aggregation** (``aggregation_threshold=k``): once ``k`` or more
+eligible transfers share one exact path, new arrivals on that path
+collapse into a single :class:`AggregateFlow` — one flow in the
+allocator regardless of member count. Members are demultiplexed
+statistically by generalized-processor-sharing virtual time: the
+aggregate tracks a virtual clock ``V`` advancing at ``rate / W`` (``W``
+= sum of member weights, each member's weight its rate cap), and member
+``i``'s delivered bytes are ``w_i · (V − V_settled_i)`` — O(1) per
+member, settled only when its weight changes. Member completion
+instants fall out of a per-aggregate heap of ``V`` thresholds; the
+aggregate's ``_remaining`` always reflects the *earliest* member
+completion, so the ordinary completion timer machinery fires at member
+boundaries. The aggregate occupies ``len(members)`` max-min shares in
+progressive filling, so mixed exact/aggregate links still converge to
+the exact allocation. Proportional-to-weight sharing is *exact*
+max-min for homogeneous member caps and a statistical approximation
+otherwise; the differential tests bound the deviation at small n.
+
 This is the standard flow-level network model used when packet-level
 detail is unnecessary; the TCP behaviour the paper's results depend on
 (window limits, slow-start ramp, loss back-off) enters through per-flow
@@ -72,6 +90,10 @@ class Flow:
     __slots__ = ("id", "name", "path", "size", "cap", "limit", "rate",
                  "done", "recorder", "started_at", "finished_at",
                  "_network", "_remaining", "_advanced_at", "_pred_version")
+
+    # Overridden by AggregateFlow; plain flows take one max-min share.
+    _is_agg = False
+    _nshares = 1
 
     def __init__(self, network: "FluidNetwork", name: str, path: List[Link],
                  size: float, cap: float, recorder: Optional[RateRecorder],
@@ -133,6 +155,179 @@ class Flow:
                 f" @ {self.rate * 8 / 1e6:.1f}Mb/s)")
 
 
+class _AggregateMember:
+    """One user stream multiplexed inside an :class:`AggregateFlow`.
+
+    Duck-types the caller-facing surface of :class:`Flow` (``done``,
+    ``progress``, ``set_cap``, ``abort``, byte accounting) so transfer
+    code is oblivious to aggregation. Its weight in the aggregate's
+    generalized-processor-sharing schedule is its rate cap; delivered
+    bytes are recovered as ``weight · (V − V_settled)`` against the
+    aggregate's virtual clock — nothing is stored per member per event.
+    """
+
+    __slots__ = ("id", "name", "path", "size", "cap", "limit", "done",
+                 "recorder", "started_at", "finished_at",
+                 "_agg", "_served0", "_v0", "_pred_version")
+
+    _is_agg = False
+
+    def __init__(self, agg: "AggregateFlow", name: str, size: float,
+                 cap: float, limit: float = math.inf):
+        env = agg._network.env
+        self.id = env.next_id("flow")
+        self.name = name or f"flow-{self.id}"
+        self.path = agg.path
+        self.size = float(size)
+        self.limit = float(limit)
+        self.cap = min(float(cap), self.limit)  # = GPS weight
+        self.done: Event = Event(env)
+        self.recorder = None
+        self.started_at = env.now
+        self.finished_at: Optional[float] = None
+        self._agg = agg
+        self._served0 = 0.0     # bytes delivered at the last settle
+        self._v0 = agg._v       # aggregate virtual time at the last settle
+        self._pred_version = 0
+
+    def _served_at(self, v: float) -> float:
+        return self._served0 + self.cap * (v - self._v0)
+
+    @property
+    def active(self) -> bool:
+        """True while the member is in the aggregate."""
+        return self.finished_at is None and not self.done.triggered
+
+    @property
+    def remaining(self) -> float:
+        """Bytes still to deliver, exact at the current instant."""
+        if not self.active:
+            return max(self.size - self._served0, 0.0)
+        served = self._served_at(self._agg._v_live())
+        return min(max(self.size - served, 0.0), self.size)
+
+    @property
+    def transferred(self) -> float:
+        """Bytes delivered so far."""
+        return self.size - self.remaining
+
+    @property
+    def rate(self) -> float:
+        """This member's statistical share of the aggregate rate."""
+        agg = self._agg
+        if not self.active or agg._W <= 0.0:
+            return 0.0
+        return agg.rate * (self.cap / agg._W)
+
+    def progress(self) -> float:
+        """Up-to-the-instant bytes delivered (forces a network flush)."""
+        self._agg._network._flush_now()
+        return self.transferred
+
+    def set_cap(self, cap: float) -> None:
+        """Change this member's ceiling — and its share weight."""
+        self._agg._network.member_set_cap(self, cap)
+
+    def abort(self, reason: str = "aborted") -> None:
+        """Leave the aggregate; ``done`` fails with FlowError."""
+        self._agg._network.member_abort(self, reason)
+
+    def __repr__(self) -> str:
+        return (f"AggMember({self.name!r},"
+                f" {self.transferred:.0f}/{self.size:.0f}B"
+                f" of {self._agg.name})")
+
+
+class AggregateFlow(Flow):
+    """Many same-path member streams carried as one allocator flow.
+
+    The allocator sees a single flow whose cap is the sum of member
+    caps and which occupies ``len(members)`` max-min shares; members
+    share its rate in proportion to their weights via GPS virtual time.
+    ``_remaining`` is maintained as the byte distance to the *earliest*
+    member completion, so the standard completion-prediction machinery
+    fires a flush at every member boundary.
+    """
+
+    __slots__ = ("_members", "_mheap", "_W", "_v", "_key", "_nshares")
+
+    _is_agg = True
+
+    def __init__(self, network: "FluidNetwork", key: tuple):
+        super().__init__(network, f"agg-{network.env.next_id('agg')}",
+                         list(key), 0.0, 0.0, None)
+        self._key = key
+        self._members: Dict[int, _AggregateMember] = {}
+        self._mheap: list = []  # (v_star, pred_version, member_id, member)
+        self._W = 0.0           # sum of member weights (= caps)
+        self._v = 0.0           # GPS virtual time
+        self._nshares = 1
+
+    def _v_live(self) -> float:
+        """Virtual time extrapolated to the current instant."""
+        v = self._v
+        if self.rate > 0.0 and self._W > 0.0:
+            dt = self._network.env.now - self._advanced_at
+            if dt > 0.0:
+                v += self.rate * dt / self._W
+        return v
+
+    def _head_entry(self) -> Optional[tuple]:
+        """Earliest valid member-completion entry, discarding stale ones."""
+        heap = self._mheap
+        while heap:
+            entry = heap[0]
+            member = entry[3]
+            if not member.active or entry[1] != member._pred_version:
+                heapq.heappop(heap)
+                continue
+            return entry
+        return None
+
+    def _refresh_remaining(self) -> None:
+        head = self._head_entry()
+        if head is None:
+            # Memberless → retire at the next flush. (All-zero-weight
+            # members leave remaining infinite, but then W = 0 forces
+            # rate 0 and no completion is ever predicted.)
+            self._remaining = math.inf if self._members else 0.0
+        else:
+            self._remaining = max((head[0] - self._v) * self._W, 0.0)
+
+    def _complete_due(self, now: float) -> None:
+        """Retire members whose virtual finish line has been crossed."""
+        heap = self._mheap
+        while heap:
+            v_star, version, _mid, member = heap[0]
+            if not member.active or version != member._pred_version:
+                heapq.heappop(heap)
+                continue
+            if (v_star - self._v) * member.cap > _EPS_BYTES:
+                break
+            heapq.heappop(heap)
+            self._retire(member, now, completed=True)
+
+    def _retire(self, member: _AggregateMember, now: float,
+                completed: bool, reason: str = "aborted") -> None:
+        """Drop a member; the caller has settled its byte account
+        (completion sets it to ``size`` outright)."""
+        self._members.pop(member.id, None)
+        self._W -= member.cap
+        if not self._members:
+            self._W = 0.0  # clear accumulated float drift
+        self.size = max(self.size - member.size, 0.0)
+        self._nshares = max(len(self._members), 1)
+        self.cap = self._W
+        member.finished_at = now
+        member._pred_version += 1
+        member._v0 = self._v
+        if completed:
+            member._served0 = member.size
+            member.done.succeed(member)
+        else:
+            member.done.fail(FlowError(reason, member))
+
+
 class FluidNetwork:
     """Event-driven fluid bandwidth sharing over a :class:`Topology`.
 
@@ -148,15 +343,28 @@ class FluidNetwork:
         changes; ``"reference"`` recomputes the whole network
         synchronously on every mutation (the original behaviour, kept
         as a differential-testing baseline and escape hatch).
+    aggregation_threshold:
+        When set, a path already carrying this many eligible exact
+        flows aggregates new same-path transfers into one
+        :class:`AggregateFlow` (``None``, the default, keeps every
+        transfer exact). Eligible means: a finite positive cap and no
+        per-flow rate recorder.
     """
 
     def __init__(self, env: Environment, topology,
-                 mode: str = "incremental") -> None:
+                 mode: str = "incremental",
+                 aggregation_threshold: Optional[int] = None) -> None:
         if mode not in ("incremental", "reference"):
             raise ValueError(f"unknown allocator mode {mode!r}")
+        if aggregation_threshold is not None and aggregation_threshold < 1:
+            raise ValueError("aggregation_threshold must be >= 1")
         self.env = env
         self.topology = topology
         self.mode = mode
+        self.aggregation_threshold = aggregation_threshold
+        self._aggregates: Dict[tuple, AggregateFlow] = {}  # path key -> agg
+        self._path_flows: Dict[tuple, int] = {}  # eligible exact flows/path
+        self._counted: Set[int] = set()          # flow ids in _path_flows
         self._flow_map: Dict[int, Flow] = {}  # id -> active flow, ordered
         # Dirty bookkeeping for deferred, component-scoped recomputes.
         self._dirty_flows: Set[Flow] = set()
@@ -176,6 +384,8 @@ class FluidNetwork:
         self.flushes = 0            # coalesced flush rounds
         self.flows_recomputed = 0   # sum of recompute scope sizes
         self.timer_reschedules = 0  # simulator timers actually created
+        self.aggregates_created = 0
+        self.aggregate_joins = 0    # transfers routed into an aggregate
 
     # -- public API ------------------------------------------------------
     @property
@@ -193,12 +403,29 @@ class FluidNetwork:
         Returns the :class:`Flow`; wait on ``flow.done`` for completion.
         A zero-byte transfer completes immediately. ``limit`` is a hard
         rate ceiling that survives later :meth:`set_cap` calls.
+
+        With :attr:`aggregation_threshold` set, an eligible transfer on
+        a path already at the threshold returns an
+        :class:`_AggregateMember` instead — same caller-facing surface.
         """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         if path is None:
             path = self.topology.path(src, dst)
-        flow = Flow(self, name, path, nbytes, cap, recorder, limit=limit)
+        if (nbytes and self.aggregation_threshold is not None
+                and recorder is None and cap > 0 and math.isfinite(cap)):
+            key = tuple(path)
+            agg = self._aggregates.get(key)
+            if agg is None and (self._path_flows.get(key, 0) + 1
+                                >= self.aggregation_threshold):
+                agg = self._make_aggregate(key)
+            if agg is not None:
+                return self._agg_join(agg, name, nbytes, cap, limit)
+            flow = Flow(self, name, path, nbytes, cap, recorder, limit=limit)
+            self._path_flows[key] = self._path_flows.get(key, 0) + 1
+            self._counted.add(flow.id)
+        else:
+            flow = Flow(self, name, path, nbytes, cap, recorder, limit=limit)
         if nbytes == 0:
             flow.finished_at = self.env.now
             flow.done.succeed(flow)
@@ -218,11 +445,21 @@ class FluidNetwork:
         self._mark_flow(flow)
 
     def abort(self, flow: Flow, reason: str = "aborted") -> None:
-        """Remove ``flow``; its waiters see a :class:`FlowError`."""
+        """Remove ``flow``; its waiters see a :class:`FlowError`.
+
+        Aborting an :class:`AggregateFlow` fails every member.
+        """
         if not flow.active:
             return
         now = self.env.now
         self._advance(flow, now)
+        if flow._is_agg:
+            v = flow._v
+            for member in list(flow._members.values()):
+                member._served0 = min(member._served_at(v), member.size)
+                member._v0 = v
+                flow._retire(member, now, completed=False, reason=reason)
+            flow._refresh_remaining()
         self._detach(flow)
         flow.finished_at = now
         flow.rate = 0.0
@@ -255,6 +492,78 @@ class FluidNetwork:
         if link._flows:
             self._dirty_links.add(link)
             self._request_flush()
+
+    # -- aggregation ------------------------------------------------------
+    def _make_aggregate(self, key: tuple) -> AggregateFlow:
+        agg = AggregateFlow(self, key)
+        self._aggregates[key] = agg
+        self._flow_map[agg.id] = agg
+        for link in agg.path:
+            link._flows.add(agg)
+        self.aggregates_created += 1
+        return agg
+
+    def _agg_join(self, agg: AggregateFlow, name: str, nbytes: float,
+                  cap: float, limit: float) -> _AggregateMember:
+        now = self.env.now
+        self._advance(agg, now)  # settle V before the weight changes
+        member = _AggregateMember(agg, name, nbytes, cap, limit)
+        agg._members[member.id] = member
+        agg._W += member.cap
+        agg.size += member.size
+        agg._nshares = len(agg._members)
+        agg.cap = agg._W
+        if member.cap > _EPS_RATE:
+            v_star = agg._v + member.size / member.cap
+            heapq.heappush(agg._mheap,
+                           (v_star, member._pred_version, member.id, member))
+        agg._refresh_remaining()
+        self.aggregate_joins += 1
+        self._mark_flow(agg)
+        return member
+
+    def member_set_cap(self, member: _AggregateMember, cap: float) -> None:
+        """Change a member's ceiling — i.e. its GPS weight — and
+        schedule a reallocation of its aggregate."""
+        if not member.active:
+            return
+        agg = member._agg
+        now = self.env.now
+        self._advance(agg, now)
+        if not member.active:
+            return  # the advance retired it (completion due exactly now)
+        v = agg._v
+        member._served0 = min(member._served_at(v), member.size)
+        member._v0 = v
+        old = member.cap
+        member.cap = min(float(cap), member.limit)
+        agg._W += member.cap - old
+        agg.cap = agg._W
+        member._pred_version += 1
+        if member.cap > _EPS_RATE:
+            rem = member.size - member._served0
+            heapq.heappush(agg._mheap, (v + rem / member.cap,
+                                        member._pred_version,
+                                        member.id, member))
+        agg._refresh_remaining()
+        self._mark_flow(agg)
+
+    def member_abort(self, member: _AggregateMember,
+                     reason: str = "aborted") -> None:
+        """Remove one member; its waiters see a :class:`FlowError`."""
+        if not member.active:
+            return
+        agg = member._agg
+        now = self.env.now
+        self._advance(agg, now)
+        if not member.active:
+            return
+        v = agg._v
+        member._served0 = min(member._served_at(v), member.size)
+        member._v0 = v
+        agg._retire(member, now, completed=False, reason=reason)
+        agg._refresh_remaining()
+        self._mark_flow(agg)
 
     def flows_on(self, link: Link) -> Iterable[Flow]:
         """Flows currently crossing ``link``."""
@@ -347,12 +656,28 @@ class FluidNetwork:
         if dt < 0:
             raise RuntimeError("network clock went backwards")
         if dt > 0.0 and flow.rate > 0.0:
-            flow._remaining -= flow.rate * dt
+            if flow._is_agg:
+                flow._v += flow.rate * dt / flow._W
+            else:
+                flow._remaining -= flow.rate * dt
         flow._advanced_at = now
+        if flow._is_agg:
+            flow._complete_due(now)
+            flow._refresh_remaining()
 
     def _detach(self, flow: Flow) -> None:
         self._flow_map.pop(flow.id, None)
         self._dirty_flows.discard(flow)
+        if flow._is_agg:
+            self._aggregates.pop(flow._key, None)
+        elif flow.id in self._counted:
+            self._counted.discard(flow.id)
+            key = tuple(flow.path)
+            n = self._path_flows.get(key, 0) - 1
+            if n > 0:
+                self._path_flows[key] = n
+            else:
+                self._path_flows.pop(key, None)
         for link in flow.path:
             link._flows.discard(flow)
             if link._flows:
@@ -444,11 +769,17 @@ class FluidNetwork:
         rates: Dict[Flow, float] = dict.fromkeys(flows, 0.0)
         residual: Dict[Link, float] = {}
         link_unfrozen: Dict[Link, Set[Flow]] = {}
+        # An aggregate occupies one share per member so mixed
+        # exact/aggregate links converge to the exact allocation; for
+        # plain flows (_nshares == 1) the arithmetic below is
+        # bit-identical to the unweighted original.
+        link_shares: Dict[Link, int] = {}
         for f in flows:
             for link in f.path:
                 if link not in residual:
                     residual[link] = link.capacity
                     link_unfrozen[link] = set()
+                    link_shares[link] = 0
         unfrozen: Set[Flow] = set()
         for f in flows:
             # A flow through a dead link, or with a zero cap, stays at 0.
@@ -458,26 +789,28 @@ class FluidNetwork:
             unfrozen.add(f)
             for link in f.path:
                 link_unfrozen[link].add(f)
+                link_shares[link] += f._nshares
         guard = 0
         while unfrozen:
             guard += 1
             if guard > 10 * len(flows) + 10:  # pragma: no cover
                 raise RuntimeError("progressive filling failed to converge")
-            # Largest uniform increment every unfrozen flow can take.
+            # Largest uniform per-share increment every unfrozen flow
+            # can take.
             delta = math.inf
             for link, users in link_unfrozen.items():
                 if users:
-                    delta = min(delta, residual[link] / len(users))
+                    delta = min(delta, residual[link] / link_shares[link])
             for f in unfrozen:
-                delta = min(delta, f.cap - rates[f])
+                delta = min(delta, (f.cap - rates[f]) / f._nshares)
             if not math.isfinite(delta):
                 break  # only cap-unbounded flows on unconstrained links
             delta = max(delta, 0.0)
             for f in unfrozen:
-                rates[f] += delta
+                rates[f] += delta * f._nshares
             for link, users in link_unfrozen.items():
                 if users:
-                    residual[link] -= delta * len(users)
+                    residual[link] -= delta * link_shares[link]
             # Freeze flows at their cap or on a saturated link.
             newly_frozen: Set[Flow] = set()
             for link, users in link_unfrozen.items():
@@ -493,6 +826,7 @@ class FluidNetwork:
                 unfrozen.discard(f)
                 for link in f.path:
                     link_unfrozen[link].discard(f)
+                    link_shares[link] -= f._nshares
         heap = self._completion_heap
         for f in flows:
             f.rate = rates[f]

@@ -62,6 +62,11 @@ class TcpParams:
     stall_timeout:
         Seconds of zero progress after which the transport declares the
         connection dead (network outage → restart logic upstream).
+    stall_poll:
+        Interval between progress checks of the stall watchdogs. The
+        default (``None``) polls at ``min(stall_timeout / 4, 5)`` s;
+        large fleets raise it so watchdog ticks don't dominate the
+        event budget.
     """
 
     mss: float = 1460.0
@@ -70,10 +75,19 @@ class TcpParams:
     loss_rate: float = 0.0
     recovery_steps: int = 6
     stall_timeout: float = 30.0
+    stall_poll: Optional[float] = None
+
+    def poll_interval(self, timeout: float) -> float:
+        """Watchdog tick for a stall budget of ``timeout`` seconds."""
+        if self.stall_poll is not None:
+            return self.stall_poll
+        return min(timeout / 4.0, 5.0)
 
     def __post_init__(self) -> None:
         if self.mss <= 0:
             raise ValueError("mss must be positive")
+        if self.stall_poll is not None and self.stall_poll <= 0:
+            raise ValueError("stall_poll must be positive")
         if self.buffer_bytes < self.mss:
             raise ValueError("buffer must hold at least one segment")
         if self.loss_rate < 0:

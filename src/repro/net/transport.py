@@ -65,10 +65,11 @@ class Connection:
         env.process(self.stream.drive(flow))
         # Watchdog: abort on sustained zero progress.
         timeout = self.params.stall_timeout
+        poll = self.params.poll_interval(timeout)
         last_progress = flow.transferred
         last_change = env.now
         while flow.active:
-            tick = env.timeout(min(timeout / 4.0, 5.0))
+            tick = env.timeout(poll)
             yield env.any_of([flow.done, tick])
             if flow.done.processed:
                 break

@@ -632,7 +632,7 @@ class RequestManager:
                     **({"ticket": ticket.id} if ticket is not None else {}))
             transfer = env.process(session.get(
                 fr.logical_file, self.dest_fs, self.dest_host,
-                handle=handle, config=cfg, record=True))
+                handle=handle, config=cfg, record=cfg.record_series))
             # (5) monitor progress "every few seconds". A failing transfer
             # raises at the any_of yield (AnyOf propagates child failures),
             # so the whole monitoring loop sits inside the try.
@@ -652,6 +652,15 @@ class RequestManager:
                     fr.size = max(fr.size, handle.total)
                     rate = (done_now - last_bytes) / poll
                     last_bytes = done_now
+                    if cfg.progress_poll_max is not None:
+                        # Fleet mode: a healthy transfer earns longer
+                        # gaps between samples; a stalling one drops
+                        # back to the base cadence for the reliability
+                        # plug-in's benefit.
+                        if rate > 0.0:
+                            poll = min(poll * 2.0, cfg.progress_poll_max)
+                        else:
+                            poll = cfg.progress_poll
                     if policy is not None and policy.observe(
                             env.now - started, rate):
                         handle.abort(

@@ -69,6 +69,20 @@ class EsgSite:
     hrm: Optional[HierarchicalResourceManager] = None
 
 
+def fleet_config() -> GridFtpConfig:
+    """GridFTP tuning for large simulated fleets.
+
+    Single-stream transfers over cached channels, with coarse (and
+    backed-off) monitor/watchdog cadences so each user contributes a
+    near-constant number of kernel events per file rather than a steady
+    polling load. Use with :meth:`EsgTestbed.add_fleet`.
+    """
+    return GridFtpConfig(parallelism=1, channel_caching=True,
+                         progress_poll=5.0, progress_poll_max=60.0,
+                         stall_poll=30.0, stall_timeout=120.0,
+                         record_series=False)
+
+
 # (site, wan latency to the backbone in s, wan capacity)
 _SITES: List[Tuple[str, float, float]] = [
     ("anl", 0.012, mbps(622)),
@@ -129,6 +143,14 @@ class EsgTestbed:
         idle drive time.
     tape_drives:
         Number of tape drives in the PDSF library (default 2).
+    kernel_queue:
+        Event-queue backend for the simulation kernel: ``"calendar"``
+        (default) or ``"heap"`` (the differential-testing baseline).
+    aggregation_threshold:
+        Passed to :class:`~repro.net.fluid.FluidNetwork`: paths already
+        carrying this many flows aggregate further same-path transfers
+        into one fluid class. ``None`` (default) keeps every transfer
+        exact.
     """
 
     def __init__(self, seed: int = 0, years: int = 1,
@@ -145,12 +167,16 @@ class EsgTestbed:
                  max_server_connections: Optional[int] = None,
                  tape_policy: str = "batch",
                  hrm_prefetch: bool = True,
-                 tape_drives: int = 2):
-        self.env = Environment(seed=seed)
+                 tape_drives: int = 2,
+                 kernel_queue: str = "calendar",
+                 aggregation_threshold: Optional[int] = None):
+        self.env = Environment(seed=seed, queue=kernel_queue)
         env = self.env
         self.grid = grid or GridSpec(nlat=32, nlon=64, months=12)
         self.topology = Topology("esg")
-        self.network = FluidNetwork(env, self.topology)
+        self.network = FluidNetwork(
+            env, self.topology,
+            aggregation_threshold=aggregation_threshold)
         self.dns = NameService(env)
         self.transport = Transport(env, self.network, self.dns)
         self.logger = NetLogger(env, host="client", prog="esg",
@@ -392,6 +418,60 @@ class EsgTestbed:
             resilience=resilience, scheduler=self.scheduler,
             tenant=name)
         return rm
+
+    def add_fleet(self, n_users: int, users_per_pop: int = 32,
+                  downlink: float = mbps(622), latency: float = 0.010,
+                  config: Optional[GridFtpConfig] = None,
+                  name_prefix: str = "pop"):
+        """Attach ``n_users`` user desktops grouped behind shared
+        points of presence — the fleet-construction fast path.
+
+        Where :meth:`add_client` builds a host, WAN link, proxy
+        credential, and GridFTP client *per user*, a fleet shares all
+        of that per PoP (``users_per_pop`` users each): one proxy
+        delegation for the whole fleet, one PoP host and uplink, and
+        one GridFTP client (so its channel cache pools warm data
+        channels across the PoP's users). Each user still gets a
+        private filesystem and request manager. Because a PoP's users
+        share the host node, their transfers from one server share the
+        *entire* network path — exactly the shape the fluid network's
+        ``aggregation_threshold`` collapses into one aggregate class.
+
+        Returns the per-user :class:`RequestManager` list, in user
+        order.
+        """
+        if n_users < 1:
+            raise ValueError("n_users must be >= 1")
+        if users_per_pop < 1:
+            raise ValueError("users_per_pop must be >= 1")
+        cfg = config or fleet_config()
+        proxy = self.user.make_proxy(self.env.now)
+        spec = HostSpec(nic_rate=downlink, bus_rate=None,
+                        cpu=CpuModel(coalesce=8),
+                        disk=DiskArray(DiskSpec(rate=80 * 2**20),
+                                       count=4))
+        rms = []
+        n_pops = (n_users + users_per_pop - 1) // users_per_pop
+        for p in range(n_pops):
+            pop = f"{name_prefix}{p}"
+            host = Host(self.topology, pop, site=pop, spec=spec)
+            host.uplink(f"r-{pop}")
+            self.topology.duplex_link(f"r-{pop}", "backbone", downlink,
+                                      latency, name=f"wan-{pop}")
+            client = GridFtpClient(
+                self.env, self.transport, self.registry,
+                credential_chain=proxy, config=cfg,
+                client_name=pop, obs=self.obs)
+            for u in range(p * users_per_pop,
+                           min((p + 1) * users_per_pop, n_users)):
+                fs = FileSystem(self.env, f"{name_prefix}-user{u}-fs")
+                rm = RequestManager(
+                    self.env, self.replica_catalog, self.mds, client,
+                    self.registry, host, fs, nws=self.nws,
+                    logger=self.logger, config=cfg, obs=self.obs,
+                    scheduler=self.scheduler, tenant=pop)
+                rms.append(rm)
+        return rms
 
     # -- windowed gauge recording ------------------------------------------------
     def start_timeseries(self, interval: float = 5.0):

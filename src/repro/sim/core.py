@@ -1,13 +1,43 @@
-"""The simulation environment: clock + event queue + scheduler."""
+"""The simulation environment: clock + event queue + scheduler.
+
+Two queue backends share the ``schedule`` / ``cancel`` / ``step`` /
+``run`` API and produce *identical* dispatch order (time, then
+priority, then schedule sequence):
+
+- ``queue="calendar"`` (default) — a slotted calendar queue: events are
+  binned into fixed-width time buckets held in a dict, with a small heap
+  of populated bucket indices. The current bucket is filtered of
+  cancelled entries and sorted *once*, then consumed by a position
+  pointer (batched same-instant dispatch); arrivals landing in the
+  already-open bucket (typically zero-delay wakeups) go to a small
+  overflow heap that is merged at the head by exact key comparison.
+  Scheduling into a future bucket allocates no per-event tuple — the
+  sort key lives in ``Event.__slots__`` — and cancellation is O(1): the
+  entry is skipped when it reaches the head, never compacted.
+- ``queue="heap"`` — the original binary heap of
+  ``(time, priority, seq, event)`` tuples, retained for differential
+  testing. Cancellation marks the event and compacts only when
+  cancelled entries outnumber live ones 2:1, so a mass cancellation of
+  n events triggers at most O(log n) heapify passes.
+"""
 
 from __future__ import annotations
 
 import heapq
+from operator import attrgetter
 from typing import Any, Callable, Generator, Optional, Union
 
 from repro.sim.events import AllOf, AnyOf, Event, EventPriority, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RandomStreams
+
+_SORT_KEY = attrgetter("_t", "_prio", "_seq")
+
+#: Default calendar-bucket width (simulated seconds). Wide enough that
+#: bursty same-instant traffic lands in one bucket (one sort, pointer
+#: consumption), narrow enough that a bucket rarely mixes events from
+#: far-apart instants.
+DEFAULT_BUCKET_WIDTH = 0.25
 
 
 class SimulationError(RuntimeError):
@@ -49,6 +79,12 @@ class Environment:
         Starting value of the simulated clock (seconds).
     seed:
         Seed for the environment's named random streams (``env.rng``).
+    queue:
+        Event-queue backend: ``"calendar"`` (default) or ``"heap"``.
+        Both dispatch in exactly the same order; the heap is kept for
+        differential testing.
+    bucket_width:
+        Calendar-bucket width in simulated seconds (calendar mode only).
 
     Example
     -------
@@ -62,11 +98,38 @@ class Environment:
     5
     """
 
-    def __init__(self, initial_time: float = 0.0, seed: int = 0):
+    def __init__(self, initial_time: float = 0.0, seed: int = 0,
+                 queue: str = "calendar",
+                 bucket_width: float = DEFAULT_BUCKET_WIDTH):
+        if queue not in ("calendar", "heap"):
+            raise ValueError(f"unknown queue backend {queue!r}")
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be > 0, got {bucket_width!r}")
         self._now = float(initial_time)
-        self._queue: list = []  # (time, priority, seq, event)
+        self.queue_kind = queue
+        self._use_heap = queue == "heap"
         self._seq = 0
+        # Cancelled entries still resident in the queue structures.
         self._n_cancelled = 0
+        # Live (scheduled, not yet dispatched or cancelled) events.
+        self._n_live = 0
+        # Lifetime kernel counters (see :attr:`kernel_stats`).
+        self._n_scheduled = 0
+        self._n_dispatched = 0
+        self._n_cancel_calls = 0
+        self._n_compactions = 0
+        if self._use_heap:
+            self._queue: list = []  # (time, priority, seq, event)
+        else:
+            self._t0 = self._now
+            self._inv_width = 1.0 / float(bucket_width)
+            self._slots: dict = {}      # bucket index -> unsorted [Event]
+            self._slot_heap: list = []  # populated bucket indices
+            self._cur_slot = -1         # index of the bucket open in _ready
+            self._ready: list = []      # current bucket, sorted, live prefix
+            self._ready_pos = 0
+            self._overflow: list = []   # (time, prio, seq, event) in cur slot
+            self._head_in_overflow = False
         self.rng = RandomStreams(seed)
         self._active_process: Optional[Process] = None
         self._id_counters: dict = {}
@@ -120,8 +183,27 @@ class Environment:
                  priority: int = EventPriority.NORMAL) -> None:
         """Put a triggered event on the queue ``delay`` seconds from now."""
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, int(priority),
-                                     self._seq, event))
+        self._n_scheduled += 1
+        self._n_live += 1
+        t = self._now + delay
+        event._t = t
+        event._prio = int(priority)
+        event._seq = self._seq
+        if self._use_heap:
+            heapq.heappush(self._queue, (t, event._prio, self._seq, event))
+            return
+        slot = int((t - self._t0) * self._inv_width)
+        if slot <= self._cur_slot:
+            # Lands in (or before) the bucket already open for dispatch:
+            # merge at the head through the overflow heap.
+            heapq.heappush(self._overflow, (t, event._prio, self._seq, event))
+            return
+        bucket = self._slots.get(slot)
+        if bucket is None:
+            self._slots[slot] = [event]
+            heapq.heappush(self._slot_heap, slot)
+        else:
+            bucket.append(event)
 
     def schedule_callback(self, fn: Callable[[Event], None], event: Event) -> None:
         """Schedule ``fn(event)`` to run at the current time."""
@@ -130,44 +212,167 @@ class Environment:
     def cancel(self, event: Event) -> None:
         """Remove a scheduled event; its callbacks will never run.
 
-        Intended for kernel-adjacent bookkeeping timers that nothing
-        waits on (e.g. the fluid allocator's completion timer): the
-        entry is skipped when it reaches the queue head, and the queue
-        is compacted whenever cancelled entries outnumber live ones —
-        superseded timers therefore cannot pile up over long runs.
+        Cancellation is O(1): the entry is marked and skipped when it
+        reaches the queue head. To bound memory (not correctness), the
+        backing store is swept of dead entries only once cancelled
+        entries outnumber live ones 2:1 past a 64-entry watermark —
+        each sweep removes at least two thirds of the residents, so a
+        mass cancellation of n events triggers at most O(log n) sweeps
+        (heapify passes in heap mode, plain bucket filters in calendar
+        mode).
         """
         if event._processed or event._cancelled:
             return
         event._cancelled = True
+        self._n_cancel_calls += 1
+        if not event._triggered:
+            return  # never scheduled; nothing resident in the queue
         self._n_cancelled += 1
-        if (self._n_cancelled > 64
-                and self._n_cancelled * 2 > len(self._queue)):
-            self._queue = [entry for entry in self._queue
-                           if not entry[3]._cancelled]
-            heapq.heapify(self._queue)
+        self._n_live -= 1
+        if self._n_cancelled > 64 and self._n_cancelled > 2 * self._n_live:
+            if self._use_heap:
+                self._queue = [entry for entry in self._queue
+                               if not entry[3]._cancelled]
+                heapq.heapify(self._queue)
+            else:
+                self._compact_calendar()
             self._n_cancelled = 0
+            self._n_compactions += 1
 
-    def _discard_cancelled_head(self) -> None:
-        queue = self._queue
-        while queue and queue[0][3]._cancelled:
-            heapq.heappop(queue)
-            self._n_cancelled -= 1
+    def _compact_calendar(self) -> None:
+        """Sweep cancelled entries out of the calendar structures.
+
+        No heapify over events is ever needed: buckets are unsorted
+        lists and the slot-index heap is left untouched — a bucket
+        emptied here leaves a stale index behind, skipped at advance.
+        """
+        self._ready = [e for e in self._ready[self._ready_pos:]
+                       if not e._cancelled]
+        self._ready_pos = 0
+        self._overflow = [entry for entry in self._overflow
+                          if not entry[3]._cancelled]
+        heapq.heapify(self._overflow)
+        for slot in list(self._slots):
+            bucket = [e for e in self._slots[slot] if not e._cancelled]
+            if bucket:
+                self._slots[slot] = bucket
+            else:
+                del self._slots[slot]
+
+    # -- queue head ---------------------------------------------------------
+    def _settle_head(self) -> Optional[Event]:
+        """Return the next live event without consuming it, or None.
+
+        Discards cancelled entries on the way and, in calendar mode,
+        advances to the next populated bucket when the current one is
+        drained.
+        """
+        if self._use_heap:
+            q = self._queue
+            while q and q[0][3]._cancelled:
+                heapq.heappop(q)
+                self._n_cancelled -= 1
+            return q[0][3] if q else None
+        while True:
+            ready = self._ready
+            pos = self._ready_pos
+            n = len(ready)
+            while pos < n and ready[pos]._cancelled:
+                pos += 1
+                self._n_cancelled -= 1
+            self._ready_pos = pos
+            ov = self._overflow
+            while ov and ov[0][3]._cancelled:
+                heapq.heappop(ov)
+                self._n_cancelled -= 1
+            if pos < n:
+                ev = ready[pos]
+                if ov and ov[0][:3] < (ev._t, ev._prio, ev._seq):
+                    self._head_in_overflow = True
+                    return ov[0][3]
+                self._head_in_overflow = False
+                return ev
+            if ov:
+                self._head_in_overflow = True
+                return ov[0][3]
+            if not self._slot_heap:
+                return None
+            slot = heapq.heappop(self._slot_heap)
+            bucket = self._slots.pop(slot, None)
+            if bucket is None:
+                continue  # stale index left behind by a compaction sweep
+            live = [e for e in bucket if not e._cancelled]
+            self._n_cancelled -= len(bucket) - len(live)
+            live.sort(key=_SORT_KEY)
+            self._ready = live
+            self._ready_pos = 0
+            self._cur_slot = slot
+
+    def _consume_head(self) -> None:
+        if self._use_heap:
+            heapq.heappop(self._queue)
+        elif self._head_in_overflow:
+            heapq.heappop(self._overflow)
+        else:
+            self._ready_pos += 1
+
+    def _dispatch(self, event: Event) -> None:
+        self._consume_head()
+        t = event._t
+        if t > self._now:
+            self._now = t
+        elif t < self._now - 1e-12:
+            raise SimulationError(f"time went backwards: {t} < {self._now}")
+        self._n_dispatched += 1
+        self._n_live -= 1
+        event._process()
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def kernel_stats(self) -> dict:
+        """Lifetime kernel counters for the stats surface.
+
+        ``queue_compactions`` counts heap-mode compaction (heapify)
+        passes; it stays 0 in calendar mode, where cancellation never
+        compacts.
+        """
+        return {
+            "queue": self.queue_kind,
+            "events_scheduled": self._n_scheduled,
+            "events_dispatched": self._n_dispatched,
+            "events_cancelled": self._n_cancel_calls,
+            "queue_compactions": self._n_compactions,
+        }
+
+    @property
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return self._n_live
+
+    def queue_depth(self) -> int:
+        """Entries physically resident in the queue (live + cancelled).
+
+        O(#populated buckets) in calendar mode; for tests asserting that
+        cancelled timers cannot pile up over long runs.
+        """
+        if self._use_heap:
+            return len(self._queue)
+        return (len(self._ready) - self._ready_pos
+                + len(self._overflow)
+                + sum(len(b) for b in self._slots.values()))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if the queue is empty."""
-        self._discard_cancelled_head()
-        return self._queue[0][0] if self._queue else float("inf")
+        event = self._settle_head()
+        return event._t if event is not None else float("inf")
 
+    # -- execution -----------------------------------------------------------
     def step(self) -> None:
         """Process exactly one event."""
-        self._discard_cancelled_head()
-        if not self._queue:
+        event = self._settle_head()
+        if event is None:
             raise SimulationError("no more events")
-        t, _prio, _seq, event = heapq.heappop(self._queue)
-        if t < self._now - 1e-12:
-            raise SimulationError(f"time went backwards: {t} < {self._now}")
-        self._now = max(self._now, t)
-        event._process()
+        self._dispatch(event)
 
     def run(self, until: Union[None, float, Event] = None) -> Any:
         """Run the simulation.
@@ -182,10 +387,10 @@ class Environment:
         """
         if until is None:
             while True:
-                self._discard_cancelled_head()
-                if not self._queue:
+                event = self._settle_head()
+                if event is None:
                     return None
-                self.step()
+                self._dispatch(event)
         if isinstance(until, Event):
             target = until
 
@@ -195,10 +400,10 @@ class Environment:
             target.add_callback(_stop)
             try:
                 while True:
-                    self._discard_cancelled_head()
-                    if not self._queue:
+                    event = self._settle_head()
+                    if event is None:
                         break
-                    self.step()
+                    self._dispatch(event)
             except StopSimulation as stop:
                 if target._exc is not None:
                     raise target._exc
@@ -211,9 +416,9 @@ class Environment:
             raise SimulationError(
                 f"cannot run until {horizon}: clock already at {self._now}")
         while True:
-            self._discard_cancelled_head()
-            if not (self._queue and self._queue[0][0] <= horizon):
+            event = self._settle_head()
+            if event is None or event._t > horizon:
                 break
-            self.step()
+            self._dispatch(event)
         self._now = horizon
         return None

@@ -58,7 +58,11 @@ class Event:
     """
 
     __slots__ = ("env", "callbacks", "_value", "_exc", "_triggered",
-                 "_processed", "_defused", "_cancelled")
+                 "_processed", "_defused", "_cancelled",
+                 # Queue sort key, written by Environment.schedule: the
+                 # calendar backend keys buckets on these slots instead
+                 # of allocating a (t, prio, seq, event) tuple per event.
+                 "_t", "_prio", "_seq")
 
     def __init__(self, env: "Environment"):
         self.env = env

@@ -253,7 +253,7 @@ def test_event_queue_stays_bounded_under_cap_churn():
     peak = 0
     for step in range(1, 201):
         env.run(until=step * 1.0)
-        peak = max(peak, len(env._queue))
+        peak = max(peak, env.queue_depth())
     assert net.reallocations > 10_000
     # The kernel compacts once cancelled entries outnumber live ones
     # past its 64-entry watermark, so the peak sits just above it. The

@@ -161,3 +161,36 @@ def test_facade_fetch_with_year_range():
                                         years=(1996, 1996))
     assert result.dataset["tas"].shape[0] == 12
     assert all(".1996." in n for n in result.logical_files)
+
+
+def test_add_fleet_groups_users_behind_shared_pops():
+    tb = small_esg(file_size_override=2 * 2**20, with_tape=False,
+                   aggregation_threshold=2)
+    tb.warm_nws(60.0)
+    rms = tb.add_fleet(10, users_per_pop=4)
+    assert len(rms) == 10
+    # ceil(10/4) = 3 PoPs; users in one PoP share host, client, tenant.
+    assert len({rm.dest_host for rm in rms}) == 3
+    assert len({rm.client for rm in rms}) == 3
+    assert rms[0].client is rms[3].client
+    assert rms[0].tenant == rms[1].tenant == "pop0"
+    assert rms[8].tenant == "pop2"
+    # ...but keep private filesystems.
+    assert rms[0].dest_fs is not rms[1].dest_fs
+    ds = tb.dataset_ids()[0]
+    name = tb.metadata_catalog.resolve(ds, "tas")[0]
+    tickets = [rm.submit([(ds, name)]) for rm in rms]
+    for t in tickets:
+        tb.env.run(until=t.done)
+    assert all(not t.failed_files for t in tickets)
+    assert all(rm.dest_fs.exists(name) for rm in rms)
+    # Same-PoP transfers shared the full path, so they aggregated.
+    assert tb.network.aggregates_created > 0
+
+
+def test_add_fleet_validates_arguments():
+    tb = small_esg()
+    with pytest.raises(ValueError):
+        tb.add_fleet(0)
+    with pytest.raises(ValueError):
+        tb.add_fleet(4, users_per_pop=0)
