@@ -1,0 +1,353 @@
+"""Federated replica catalog at archive scale, and selection quality
+under staleness.
+
+Section 6.2 sizes the metadata problem at "perhaps 10^6 logical files"
+and asks for "distribution and replication of the catalog". This bench
+drives the federated, sharded catalog at exactly that scale and then
+measures what sharding must not cost: answer fidelity and replica
+selection quality when shards lag, cache entries go stale, and a whole
+site catalog drops out.
+
+Part A — **scale**: publish ~10^6 logical files (collections of 1000,
+three locations each) through the federation and through an unsharded
+:class:`ReplicaCatalog` union baseline, replicate to quiescence, then
+drive sampled timed lookups. Fidelity is gated in-bench: every sampled
+federated answer must equal the baseline's, healthy *and* during an
+injected shard outage (where answers must additionally be flagged
+partial).
+
+Part B — **selection quality**: an :class:`EsgTestbed` with a sharded
+catalog, slow sync, and a long-TTL client cache. Half the requested
+files lose every fast replica behind the catalog's back (stale
+entries), one shard takes an outage mid-run, and a write lands during
+the outage (version-lagged peer answers). The gate is the issue's
+acceptance criterion: >= 90% of requests still reach a valid replica,
+with the demote + re-select loop demonstrably exercised.
+
+Results land in ``BENCH_catalog_federation.json`` at the repo root.
+Reduced CI smoke: ``REPRO_FED_FILES=10000 REPRO_FED_SITES=3``; every
+gate except the absolute 10^6 floor binds at whatever scale runs.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.net import FaultSchedule
+from repro.replica.catalog import ReplicaCatalog
+from repro.replica.federation import FederatedReplicaCatalog
+from repro.rm.request import FileState
+from repro.rm.resilience import ResiliencePolicy, RetryPolicy
+from repro.scenarios import EsgTestbed
+from repro.sim import Environment
+
+from benchmarks.conftest import record, run_once
+
+MB = 2**20
+SEED = 17
+FILES_PER_COLLECTION = 1000
+LOCATIONS_PER_COLLECTION = 3
+SAMPLES = 2000
+OUT_PATH = Path(__file__).resolve().parents[1] / \
+    "BENCH_catalog_federation.json"
+
+FULL_SCALE_FLOOR = 1_000_000
+REACH_GATE = 0.90            # >= 90% of requests reach a valid replica
+
+
+def _files_target():
+    env_files = os.environ.get("REPRO_FED_FILES")
+    return int(env_files) if env_files else FULL_SCALE_FLOOR
+
+
+def _sites():
+    return int(os.environ.get("REPRO_FED_SITES", "4"))
+
+
+def _wall_gate():
+    return float(os.environ.get("REPRO_FED_WALL_GATE", "600"))
+
+
+def _loc_key(loc):
+    return (loc.name, loc.protocol, loc.hostname, loc.port, loc.path,
+            loc.files)
+
+
+# -- Part A: 10^6 logical files, federated vs unsharded ------------------
+
+def _publish(catalogs, n_collections):
+    """Register every collection/location into each catalog.
+
+    Per-file ``lf=`` entries are deliberately omitted — the paper makes
+    them optional precisely so the catalog scales to 10^6 files on
+    location filename lists alone.
+    """
+    collections = []
+    for c in range(n_collections):
+        coll = f"pcmdi.scale.c{c:04d}"
+        files = [f"{coll}.y{f // 12:03d}.m{f % 12:02d}.nc"
+                 for f in range(FILES_PER_COLLECTION)]
+        for catalog in catalogs:
+            catalog.create_collection(coll, description="scale")
+        for l in range(LOCATIONS_PER_COLLECTION):
+            # location 0 is complete; the others hold rolling halves
+            held = (files if l == 0
+                    else files[l::2] + files[:l])
+            for catalog in catalogs:
+                catalog.register_location(
+                    coll, f"site{l}", "gsiftp",
+                    f"gridftp{l}.example.org", 2811, "/archive", held)
+        collections.append((coll, files))
+    return collections
+
+
+def _sample_pairs(collections, samples, stride):
+    """Deterministic (collection, file) sample without Python RNG."""
+    pairs = []
+    n = len(collections)
+    for i in range(samples):
+        coll, files = collections[(i * stride) % n]
+        pairs.append((coll, files[(i * 131) % len(files)]))
+    return pairs
+
+
+def _compare(env, fed, base, pairs):
+    """Timed federated vs baseline lookups; returns match/partial counts."""
+    stats = {"matched": 0, "mismatched": 0, "partial": 0, "stale": 0}
+
+    def driver():
+        for coll, name in pairs:
+            got, meta = yield from fed.find_replicas_meta(coll, name)
+            want = yield from base.find_replicas(coll, name)
+            if [_loc_key(l) for l in got] == \
+                    sorted((_loc_key(l) for l in want)):
+                stats["matched"] += 1
+            else:
+                stats["mismatched"] += 1
+            if meta.partial:
+                stats["partial"] += 1
+            if meta.stale:
+                stats["stale"] += 1
+
+    proc = env.process(driver())
+    env.run(until=proc)
+    return stats
+
+
+def _run_scale():
+    target = _files_target()
+    n_collections = max(2, target // FILES_PER_COLLECTION)
+    n_files = n_collections * FILES_PER_COLLECTION
+    env = Environment(seed=SEED)
+    sites = [f"cat{i}" for i in range(_sites())]
+    fed = FederatedReplicaCatalog(env, sites, replication=2,
+                                  sync_interval=30.0)
+    base = ReplicaCatalog(env, name="esg")
+
+    t0 = time.perf_counter()
+    collections = _publish([fed, base], n_collections)
+    publish_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fed.sync_now()
+    sync_wall = time.perf_counter() - t0
+    assert fed.lag == 0
+
+    # federated directory view matches the union baseline
+    fed_names = [c.name for c in fed.collections()]
+    base_names = [c.name for c in base.collections()]
+    assert fed_names == sorted(base_names)
+    assert len(fed_names) == n_collections
+
+    t0 = time.perf_counter()
+    healthy = _compare(env, fed, base, _sample_pairs(
+        collections, SAMPLES, stride=7919))
+    lookup_wall = time.perf_counter() - t0
+
+    # one shard out: answers must stay correct (replication = 2) while
+    # queries on its collections degrade to flagged partial answers
+    victim = fed.router.sites[0]
+    homed = [(coll, files) for coll, files in collections
+             if fed.router.home(coll) == victim]
+    fed.sites[victim].directory.add_outage(start=env.now,
+                                           duration=1e9)
+    outage = _compare(env, fed, base, _sample_pairs(
+        homed, min(SAMPLES, 4 * len(homed)), stride=104729))
+
+    per_site = {name: len(site.directory)
+                for name, site in fed.sites.items()}
+    return {
+        "sites": len(sites),
+        "collections": n_collections,
+        "files": n_files,
+        "entries_per_shard": per_site,
+        "publish_wall_s": round(publish_wall, 2),
+        "publish_files_per_s": round(n_files / publish_wall),
+        "sync_wall_s": round(sync_wall, 2),
+        "replicated_ops": fed.replicated_ops,
+        "lookup_samples": SAMPLES,
+        "lookup_wall_s": round(lookup_wall, 2),
+        "lookups_per_s": round(SAMPLES / lookup_wall),
+        "healthy": healthy,
+        "outage_shard": victim,
+        "outage_samples": outage,
+    }
+
+
+# -- Part B: stale-tolerant selection through the testbed ----------------
+
+def _run_selection():
+    resilience = ResiliencePolicy(
+        retry=RetryPolicy(max_rounds=2, base_delay=2.0, multiplier=2.0,
+                          max_delay=10.0, jitter=0.25),
+        breaker_failure_threshold=3, file_deadline=300.0)
+    tb = EsgTestbed(seed=SEED, with_tape=False,
+                    file_size_override=2 * MB, resilience=resilience,
+                    catalog_sites=3, catalog_sync_interval=600.0,
+                    catalog_cache_ttl=300.0)
+    tb.warm_nws(60.0)
+    fed = tb.federation
+    requests = [(ds, str(f["logical_name"]))
+                for ds in tb.dataset_ids()
+                for f in tb.datasets[ds]]
+    # Warm the client cache: selection below acts on cached entries.
+    for ds, name in requests:
+        tb.run_process(fed.find_replicas(ds, name))
+    # Staleness injection: every other file loses all fast replicas on
+    # disk behind the catalog's back; only a slow-WAN copy survives, so
+    # ranked selection must hit the mismatch, demote, and re-select.
+    slow = {"ncar", "isi", "sdsc", "llnl"}
+    doctored = 0
+    for i, (ds, name) in enumerate(requests):
+        if i % 2:
+            continue
+        holders = [loc.name for loc in fed.locations(ds)
+                   if loc.holds(name)]
+        survivor = next(h for h in holders if h in slow)
+        for site_name in holders:
+            if site_name != survivor:
+                tb.sites[site_name].fs.delete(name)
+        doctored += 1
+    # Converge replication first so every peer holds a real (if soon
+    # version-lagged) copy, then take the first dataset's home shard
+    # down: a write landing mid-outage leaves the surviving peer
+    # answering with a stale view — which selection must tolerate.
+    fed.sync_now()
+    victim = fed.router.home(tb.dataset_ids()[0])
+    # (fault start times are relative to install time)
+    tb.fault_injector().install(
+        FaultSchedule().catalog_outage(0.0, 600.0, site=victim,
+                                       description="shard outage"))
+    fed.add_file_to_location(tb.dataset_ids()[0], "lbnl-pdsf",
+                             "bench.marker.nc")
+
+    reached = 0
+    stale_demotes = 0
+    stale_lookups = 0
+    switches = 0
+    for ds, name in requests:
+        ticket = tb.request_manager.submit([(ds, name)])
+        tb.env.run(until=ticket.done)
+        fr = ticket.files[0]
+        if fr.state is FileState.DONE:
+            reached += 1
+        stale_demotes += fr.stale_demotes
+        stale_lookups += fr.stale_lookups
+        switches += fr.replica_switches
+    stats = fed.stats()
+    return {
+        "requests": len(requests),
+        "doctored": doctored,
+        "reached": reached,
+        "reach_rate": round(reached / len(requests), 4),
+        "stale_demotes": stale_demotes,
+        "stale_lookups": stale_lookups,
+        "replica_switches": switches,
+        "outage_shard": victim,
+        "federation": {k: stats[k]
+                       for k in ("queries", "cache_hits", "stale_hits",
+                                 "partial_queries", "demotes",
+                                 "refreshes", "syncs")},
+    }
+
+
+def test_catalog_federation(benchmark, show):
+    def experiment():
+        t0 = time.perf_counter()
+        out = {"scale": _run_scale(), "selection": _run_selection()}
+        out["wall_s"] = round(time.perf_counter() - t0, 1)
+        return out
+
+    results = run_once(benchmark, experiment)
+    scale = results["scale"]
+    sel = results["selection"]
+
+    show()
+    show(f"=== Federated replica catalog: {scale['files']:,} logical "
+         f"files over {scale['sites']} site catalogs ===")
+    show(f"  publish: {scale['publish_wall_s']}s wall "
+         f"({scale['publish_files_per_s']:,} files/s), "
+         f"sync {scale['sync_wall_s']}s "
+         f"({scale['replicated_ops']:,} replicated ops)")
+    show(f"  lookups: {scale['lookup_samples']} sampled fan-outs in "
+         f"{scale['lookup_wall_s']}s wall "
+         f"({scale['lookups_per_s']:,}/s), "
+         f"matched={scale['healthy']['matched']} "
+         f"mismatched={scale['healthy']['mismatched']}")
+    show(f"  outage ({scale['outage_shard']} down): "
+         f"{scale['outage_samples']['matched']} matched, "
+         f"{scale['outage_samples']['partial']} flagged partial, "
+         f"{scale['outage_samples']['mismatched']} mismatched")
+    show(f"=== Stale-tolerant selection ({sel['requests']} requests, "
+         f"{sel['doctored']} doctored stale) ===")
+    show(f"  reached a valid replica: {sel['reached']}/"
+         f"{sel['requests']} ({sel['reach_rate'] * 100:.1f}%, "
+         f"gate >= {REACH_GATE * 100:.0f}%)")
+    show(f"  demote/re-select: stale_demotes={sel['stale_demotes']} "
+         f"replica_switches={sel['replica_switches']} "
+         f"stale_lookups={sel['stale_lookups']}")
+    show(f"  federation: {sel['federation']}")
+    show(f"  total wall: {results['wall_s']}s "
+         f"(gate <= {_wall_gate():.0f}s)")
+
+    OUT_PATH.write_text(json.dumps({
+        "workload": {
+            "seed": SEED,
+            "files": scale["files"],
+            "collections": scale["collections"],
+            "files_per_collection": FILES_PER_COLLECTION,
+            "locations_per_collection": LOCATIONS_PER_COLLECTION,
+            "catalog_sites": scale["sites"],
+            "replication": 2,
+            "selection_requests": sel["requests"],
+        },
+        "gates": {
+            "full_scale_floor": FULL_SCALE_FLOOR,
+            "reach_rate": REACH_GATE,
+            "wall_s": _wall_gate(),
+        },
+        "results": results,
+    }, indent=2) + "\n")
+    record(benchmark, results=results)
+
+    # -- gates ---------------------------------------------------------
+    if not os.environ.get("REPRO_FED_FILES"):
+        assert scale["files"] >= FULL_SCALE_FLOOR
+    assert results["wall_s"] <= _wall_gate()
+    # federated answers identical to the unsharded baseline
+    assert scale["healthy"]["mismatched"] == 0
+    assert scale["healthy"]["partial"] == 0
+    assert scale["outage_samples"]["mismatched"] == 0
+    # every outage-window sample touched the downed home: all partial
+    assert scale["outage_samples"]["partial"] == \
+        scale["outage_samples"]["matched"]
+    assert scale["outage_samples"]["matched"] > 0
+    # >= 90% of requests under injected staleness reach a valid replica
+    assert sel["reach_rate"] >= REACH_GATE, (
+        f"only {sel['reach_rate'] * 100:.1f}% of requests reached a "
+        f"replica under staleness")
+    # and they did it the stale-tolerant way, not by luck
+    assert sel["stale_demotes"] > 0
+    assert sel["federation"]["demotes"] > 0
+    assert sel["federation"]["stale_hits"] > 0
+    assert sel["federation"]["partial_queries"] > 0

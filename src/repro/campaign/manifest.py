@@ -65,6 +65,9 @@ def plan_campaign(catalog: ReplicaCatalog,
     """
     if collections is None:
         collections = [c.name for c in catalog.collections()]
+    # Federated catalogs expose a demotion registry (entries that failed
+    # verify-on-open); planned replica lists must not offer them.
+    is_demoted = getattr(catalog, "is_demoted", None)
     entries: List[ManifestEntry] = []
     replicas: Dict[Tuple[str, str], List[LocationInfo]] = {}
     for coll in collections:
@@ -75,6 +78,8 @@ def plan_campaign(catalog: ReplicaCatalog,
             size = catalog.logical_file_size(coll, lf) or 0.0
             digest = catalog.logical_file_digest(coll, lf)
             entries.append(ManifestEntry(coll, lf, size, digest))
-            replicas[(coll, lf)] = [loc for loc, files in holders
-                                    if lf in files]
+            replicas[(coll, lf)] = [
+                loc for loc, files in holders
+                if lf in files and (is_demoted is None
+                                    or not is_demoted(coll, lf, loc.name))]
     return CampaignManifest(entries), replicas

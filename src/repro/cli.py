@@ -11,6 +11,7 @@ Installed as the ``repro`` console script::
     repro metrics [--json]     # the same run's metrics registry
     repro slo                  # per-tenant SLO burn-rate evaluation
     repro report [--files N]   # campaign reconciliation certificate
+    repro catalog [--sites N]  # federated replica catalog walkthrough
 """
 
 from __future__ import annotations
@@ -269,6 +270,82 @@ def _cmd_report(args) -> int:
     return report.exit_code
 
 
+def _cmd_catalog(args) -> int:
+    from repro.replica import FederatedReplicaCatalog
+    from repro.sim.core import Environment
+
+    env = Environment(seed=args.seed)
+    sites = [f"site-{chr(ord('a') + i)}" for i in range(args.sites)]
+    fed = FederatedReplicaCatalog(env, sites, replication=2,
+                                  sync_interval=5.0,
+                                  cache_ttl=args.cache_ttl)
+    fed.start()
+    collections = [f"pcmdi.demo.run{i:02d}"
+                   for i in range(args.collections)]
+    for coll in collections:
+        files = [f"{coll}.nc{j:04d}" for j in range(args.files)]
+        fed.create_collection(coll, description="CLI walkthrough")
+        fed.register_location(coll, "origin", "gsiftp",
+                              f"{fed.router.home(coll)}.example.org",
+                              2811, "/archive", files)
+        fed.register_location(coll, "mirror", "gsiftp",
+                              "mirror.example.org", 2811, "/cache",
+                              files[: max(1, args.files // 2)])
+    fed.sync_now()
+
+    # knock out the home shard of the first collection mid-run: its
+    # lookups must degrade to partial answers served by the peer copy.
+    victim = fed.router.home(collections[0])
+    fed.sites[victim].directory.add_outage(start=10.0, duration=25.0)
+
+    lost = [0]
+
+    def driver():
+        for i in range(args.lookups):
+            coll = collections[i % len(collections)]
+            name = f"{coll}.nc{(i * 7) % args.files:04d}"
+            try:
+                yield from fed.find_replicas(coll, name)
+            except Exception as exc:
+                lost[0] += 1
+                print(f"t={env.now:6.1f}s  {name}: LOST ({exc})")
+            yield env.timeout(1.0)
+        # the stale-tolerance loop in miniature: a verify-on-open
+        # mismatch demotes the entry, a home write refreshes it.
+        coll = collections[0]
+        name = f"{coll}.nc0000"
+        fed.demote(coll, name, "mirror")
+        hidden = yield from fed.find_replicas(coll, name)
+        fed.add_file_to_location(coll, "origin", f"{coll}.extra")
+        refreshed = yield from fed.find_replicas(coll, name)
+        print(f"t={env.now:6.1f}s  demoted {name}@mirror: offered "
+              f"{[loc.name for loc in hidden]}, after refresh "
+              f"{[loc.name for loc in refreshed]}")
+
+    proc = env.process(driver())
+    env.run(until=proc)
+
+    print(f"\n=== shard map ({args.collections} collections over "
+          f"{args.sites} sites, seed {args.seed}) ===")
+    for coll, prefs in sorted(fed.shard_map().items()):
+        mark = "  [home was down 10-35s]" if prefs[0] == victim else ""
+        print(f"{coll:<22} home={prefs[0]:<8} "
+              f"peers={','.join(prefs[1:])}{mark}")
+    stats = fed.stats()
+    print("\n=== federation stats ===")
+    print("entries/site  " + "  ".join(
+        f"{site}={n}" for site, n in sorted(stats["sites"].items())))
+    for key in ("queries", "cache_hits", "stale_hits", "partial_queries",
+                "demotes", "refreshes", "replicated_ops",
+                "conflicts_resolved", "syncs"):
+        print(f"{key:<20} {stats[key]}")
+    print(f"{'lookups_lost':<20} {lost[0]}")
+    print("breakers      " + "  ".join(
+        f"{site}={state}"
+        for site, state in sorted(stats["breakers"].items())))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument grammar (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -306,6 +383,20 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--inject-discrepancy", action="store_true",
                     help="corrupt one delivered file post-hoc (the "
                          "report must exit nonzero)")
+    ct = sub.add_parser(
+        "catalog",
+        help="federated replica catalog walkthrough: sharded publish, "
+             "fan-out lookups through a shard outage, demote/refresh")
+    ct.add_argument("--sites", type=int, default=4,
+                    help="site catalogs in the federation (default 4)")
+    ct.add_argument("--collections", type=int, default=12,
+                    help="logical collections to publish (default 12)")
+    ct.add_argument("--files", type=int, default=40,
+                    help="files per collection (default 40)")
+    ct.add_argument("--lookups", type=int, default=48,
+                    help="timed federated lookups to run (default 48)")
+    ct.add_argument("--cache-ttl", type=float, default=5.0,
+                    help="client lookup cache TTL in seconds (default 5)")
     return parser
 
 
@@ -319,6 +410,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "slo": _cmd_slo,
     "report": _cmd_report,
+    "catalog": _cmd_catalog,
 }
 
 

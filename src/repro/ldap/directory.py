@@ -106,6 +106,11 @@ class DirectoryServer:
                 return end, mode
         return None
 
+    @property
+    def available(self) -> bool:
+        """True when no outage window covers the current instant."""
+        return self._outage_at(self.env.now) is None
+
     def _outage_gate(self):
         """Generator prelude applying any active outage window."""
         window = self._outage_at(self.env.now)

@@ -144,10 +144,17 @@ class FaultSchedule:
         return self
 
     def catalog_outage(self, start: float, duration: float,
-                       mode: str = "fail",
+                       mode: str = "fail", site: Optional[str] = None,
                        description: str = "") -> "FaultSchedule":
-        """Replica catalog directory unavailable for a window."""
-        self.faults.append(Fault("directory", "catalog", start, duration,
+        """Replica catalog directory unavailable for a window.
+
+        With ``site`` set, only that federation shard's directory goes
+        down (target ``catalog:<site>``); the federated query layer
+        degrades to partial answers from the surviving shards. Without
+        it, the whole catalog service is out.
+        """
+        target = f"catalog:{site}" if site is not None else "catalog"
+        self.faults.append(Fault("directory", target, start, duration,
                                  mode=mode, description=description))
         return self
 

@@ -24,6 +24,12 @@ from repro.replica.catalog import (
     ReplicaCatalog,
     ReplicaError,
 )
+from repro.replica.federation import (
+    FederatedReplicaCatalog,
+    QueryMeta,
+    ShardRouter,
+    SiteCatalog,
+)
 from repro.replica.manager import ReplicaManager
 from repro.replica.mapping import MappingRule, MappingTable
 from repro.replica.selection import (
@@ -37,11 +43,13 @@ from repro.replica.selection import (
 
 __all__ = [
     "CollectionInfo",
+    "FederatedReplicaCatalog",
     "LocationInfo",
     "MappingRule",
     "MappingTable",
     "NwsBestPolicy",
     "NwsSpreadPolicy",
+    "QueryMeta",
     "RandomPolicy",
     "ReplicaCandidate",
     "ReplicaCatalog",
@@ -49,4 +57,6 @@ __all__ = [
     "ReplicaManager",
     "RoundRobinPolicy",
     "SelectionPolicy",
+    "ShardRouter",
+    "SiteCatalog",
 ]

@@ -25,6 +25,7 @@ class ReplicaCandidate:
     bandwidth: float          # forecast bytes/s to the destination
     latency: float            # forecast one-way seconds
     stage_wait: float = 0.0   # expected HRM staging delay, seconds
+    stale: bool = False       # came from a stale/cached catalog answer
 
     def transfer_estimate(self, nbytes: float) -> float:
         """Predicted seconds to move ``nbytes`` from this replica."""
@@ -48,6 +49,9 @@ def _record_rank(obs, policy: str,
         return
     obs.count("replica.ranks_total", policy=policy)
     obs.gauge("replica.candidates", len(candidates), policy=policy)
+    n_stale = sum(1 for c in candidates if c.stale)
+    if n_stale:
+        obs.count("replica.stale_candidates_total", n_stale, policy=policy)
 
 
 class NwsBestPolicy:

@@ -26,7 +26,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.data.digest import file_digest
 from repro.gridftp.client import GridFtpClient, TransferHandle
-from repro.gridftp.protocol import ACTION_NOT_TAKEN, GridFtpConfig, GridFtpError
+from repro.gridftp.protocol import (
+    ACTION_NOT_TAKEN,
+    FILE_UNAVAILABLE,
+    GridFtpConfig,
+    GridFtpError,
+)
 from repro.gridftp.restart import ReliabilityPolicy
 from repro.gridftp.server import GridFtpServer
 from repro.mds.service import MdsService
@@ -371,12 +376,22 @@ class RequestManager:
             fr.state = FileState.SELECTING
             # (1) replica lookup — skipped for pre-resolved (campaign)
             # files, whose locations came from one batched catalog sweep.
+            # A federated catalog returns (locations, QueryMeta): the
+            # answer may be stale (cached / lagging shard) or partial
+            # (a shard was down), and selection proceeds anyway —
+            # verify-on-open catches entries that outlived the replica.
+            lookup_meta = None
             if fr.pinned_replicas is not None:
                 replicas = list(fr.pinned_replicas)
             else:
+                finder = getattr(self.catalog, "find_replicas_meta", None)
                 try:
-                    replicas = yield from self.catalog.find_replicas(
-                        fr.collection, fr.logical_file)
+                    if finder is not None:
+                        replicas, lookup_meta = yield from finder(
+                            fr.collection, fr.logical_file)
+                    else:
+                        replicas = yield from self.catalog.find_replicas(
+                            fr.collection, fr.logical_file)
                 except Exception as exc:
                     if self._should_stop(ticket, fr):
                         return
@@ -385,7 +400,18 @@ class RequestManager:
                     continue
                 if self._should_stop(ticket, fr):
                     return
+                if lookup_meta is not None and lookup_meta.stale:
+                    fr.stale_lookups += 1
+                    if self.obs is not None:
+                        self.obs.count("rm.stale_lookups_total")
             if not replicas:
+                if lookup_meta is not None and (lookup_meta.partial
+                                                or lookup_meta.stale):
+                    # A degraded answer may simply be missing the entry;
+                    # retry rounds can see a healthier federation.
+                    last_error = "no replicas in partial/stale answer"
+                    last_class = FailureClass.LOOKUP
+                    continue
                 # Permanent: no amount of retrying invents a replica.
                 self._fail(ticket, fr, "no replicas registered",
                            FailureClass.LOOKUP)
@@ -397,7 +423,9 @@ class RequestManager:
             # (2)+(3) forecast and rank; then try candidates best-first,
             # with the reliability plug-in able to force a switch
             # mid-transfer.
-            candidates = yield from self._rank(replicas, fr)
+            candidates = yield from self._rank(
+                replicas, fr,
+                stale=lookup_meta is not None and lookup_meta.stale)
             if self._should_stop(ticket, fr):
                 return
             if self.quarantined:
@@ -448,7 +476,13 @@ class RequestManager:
                     self._say(f"{fr.logical_file}: complete from "
                               f"{loc.hostname}")
                     return
-                if breaker is not None:
+                if fclass is FailureClass.STALE:
+                    # The host is healthy; the *catalog entry* outlived
+                    # the replica. Demote the entry (not the host) so
+                    # re-selection and future lookups skip it until the
+                    # collection is refreshed.
+                    self._demote_stale(fr, loc)
+                elif breaker is not None:
                     breaker.record_failure(env.now)
                 if self._should_stop(ticket, fr):
                     return
@@ -458,7 +492,8 @@ class RequestManager:
                           f"{err}")
         self._fail(ticket, fr, last_error, last_class)
 
-    def _rank(self, replicas: List[LocationInfo], fr: FileRequest):
+    def _rank(self, replicas: List[LocationInfo], fr: FileRequest,
+              stale: bool = False):
         """Forecast-and-rank; degrades gracefully when MDS is down.
 
         Healthy path: live NWS forecasts via MDS, ranked by the
@@ -499,7 +534,7 @@ class RequestManager:
                 stage_wait = server.hrm.estimate_wait(fr.logical_file)
             candidates.append(ReplicaCandidate(
                 loc, bandwidth=bandwidth, latency=latency,
-                stage_wait=stage_wait))
+                stage_wait=stage_wait, stale=stale))
         if degraded:
             fr.degraded_rankings += 1
             if self.obs is not None:
@@ -524,7 +559,36 @@ class RequestManager:
             return FailureClass.DEADLINE
         if exc.reply.code == ACTION_NOT_TAKEN or "staging" in text:
             return FailureClass.STAGING
+        if exc.reply.code == FILE_UNAVAILABLE and "no such file" in text:
+            # The server answered but cannot produce the file: the
+            # catalog entry is stale, not the host.
+            return FailureClass.STALE
         return FailureClass.TRANSFER
+
+    def _demote_stale(self, fr: FileRequest, loc: LocationInfo) -> None:
+        """Verify-on-open mismatch: hide the entry, not the host.
+
+        A federated catalog owns the demotion registry (and emits the
+        ``catalog.demote`` lifeline event); against a plain catalog the
+        RM's quarantine map stands in, with the same event emitted here
+        so lifelines agree across catalog kinds.
+        """
+        fr.stale_demotes += 1
+        demote = getattr(self.catalog, "demote", None)
+        if demote is not None:
+            demote(fr.collection, fr.logical_file, loc.name)
+        else:
+            self.quarantined[(fr.collection, fr.logical_file,
+                              loc.name)] = self.env.now
+            if self.obs is not None:
+                self.obs.event("catalog.demote", prog="request-manager",
+                               collection=fr.collection,
+                               file=fr.logical_file, location=loc.name)
+                self.obs.count("catalog.demotes_total")
+        if self.obs is not None:
+            self.obs.count("rm.stale_demotes_total")
+        self._say(f"{fr.logical_file}: stale catalog entry at {loc.name} "
+                  "demoted")
 
     def _acquire_slot(self, fr: FileRequest, loc: LocationInfo,
                       ticket: Optional[RequestTicket],
@@ -630,6 +694,17 @@ class RequestManager:
                     "gridftp.connect", prog="gridftp", host=loc.hostname,
                     file=fr.logical_file,
                     **({"ticket": ticket.id} if ticket is not None else {}))
+            # Verify-on-open: the catalog entry may be stale (cached or
+            # lagging-shard answer). Probe before committing streams;
+            # a server that cannot produce the file fails the attempt as
+            # STALE so the caller demotes the entry, not the host.
+            probe = getattr(server, "exists", None)
+            if probe is not None and not probe(fr.logical_file):
+                session.close()
+                if span is not None:
+                    span.finish(status="error", error="stale")
+                return (False, f"{loc.hostname}: no such file "
+                        "(stale catalog entry)", FailureClass.STALE)
             transfer = env.process(session.get(
                 fr.logical_file, self.dest_fs, self.dest_host,
                 handle=handle, config=cfg, record=cfg.record_series))

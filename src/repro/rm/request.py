@@ -45,6 +45,9 @@ class FileRequest:
     degraded_rankings: int = 0                # ranks done without live NWS
     # integrity pipeline (see repro.data.digest / GridFtpConfig.verify_checksum)
     pinned_replicas: Optional[List] = None    # pre-resolved LocationInfos
+    # stale-tolerant selection (see repro.replica.federation)
+    stale_lookups: int = 0                    # lookups served from stale data
+    stale_demotes: int = 0                    # entries demoted on open mismatch
     verified: bool = False                    # digest matched the catalog
     verify_seconds: float = 0.0               # time spent in checksum scans
     integrity_failures: int = 0               # mismatches caught on arrival

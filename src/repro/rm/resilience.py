@@ -35,6 +35,7 @@ class FailureClass(enum.Enum):
     STAGING = "staging"      # HRM / tape staging failed
     DEADLINE = "deadline"    # per-file or per-ticket deadline exceeded
     INTEGRITY = "integrity"  # delivered digest mismatched the catalog
+    STALE = "stale"          # catalog entry outlived the replica (verify-on-open)
 
 
 @dataclass

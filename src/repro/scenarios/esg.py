@@ -118,6 +118,23 @@ class EsgTestbed:
         Back the replica catalog with a primary + two read replicas
         (§6.2's "distribution and replication of the catalog"), with a
         30 s sync period.
+    catalog_sites:
+        When set, replace the single replica catalog with a
+        :class:`~repro.replica.federation.FederatedReplicaCatalog`
+        sharded across the first ``catalog_sites`` testbed sites
+        (mutually exclusive with ``replicated_catalog``). Collections
+        are consistent-hash-placed; lookups fan out and tolerate shard
+        outages with partial answers.
+    catalog_replication:
+        Shards holding each collection in the federated catalog
+        (home + ``catalog_replication - 1`` async replicas).
+    catalog_sync_interval:
+        Async replication period between federation shards, seconds
+        (the bounded staleness window).
+    catalog_cache_ttl:
+        Client-side lookup cache TTL for the federated catalog, seconds
+        (0 disables). Cached answers may be stale; the RM verifies on
+        open and demotes entries that outlived their replica.
     file_size_override:
         Force every catalog file to this size in bytes (bulk transfer
         experiments; incompatible with ``materialize``).
@@ -158,6 +175,10 @@ class EsgTestbed:
                  nws_period: float = 30.0, with_tape: bool = True,
                  materialize: bool = False,
                  replicated_catalog: bool = False,
+                 catalog_sites: Optional[int] = None,
+                 catalog_replication: int = 2,
+                 catalog_sync_interval: float = 30.0,
+                 catalog_cache_ttl: float = 0.0,
                  file_size_override: Optional[float] = None,
                  reliability: Optional[ReliabilityPolicy] = None,
                  config: Optional[GridFtpConfig] = None,
@@ -245,6 +266,10 @@ class EsgTestbed:
         self.client_fs = FileSystem(env, "client-fs")
 
         # -- grid services
+        if replicated_catalog and catalog_sites is not None:
+            raise ValueError("replicated_catalog and catalog_sites "
+                             "conflict: pick one catalog architecture")
+        self.federation = None
         if replicated_catalog:
             from repro.ldap.directory import DirectoryServer
             from repro.ldap.replicated import ReplicatedDirectory
@@ -259,6 +284,20 @@ class EsgTestbed:
             self.catalog_directory.start()
             self.replica_catalog = ReplicaCatalog(
                 env, directory=self.catalog_directory, name="esg")
+        elif catalog_sites is not None:
+            from repro.replica.federation import FederatedReplicaCatalog
+            if not 1 <= catalog_sites <= len(_SITES):
+                raise ValueError(f"catalog_sites must be in "
+                                 f"[1, {len(_SITES)}]")
+            shard_sites = [name for name, _, _ in _SITES][:catalog_sites]
+            self.federation = FederatedReplicaCatalog(
+                env, shard_sites, name="esg",
+                replication=catalog_replication,
+                sync_interval=catalog_sync_interval,
+                cache_ttl=catalog_cache_ttl, obs=self.obs)
+            self.federation.start()
+            self.catalog_directory = None
+            self.replica_catalog = self.federation
         else:
             self.catalog_directory = None
             self.replica_catalog = ReplicaCatalog(env, name="esg")
@@ -580,9 +619,18 @@ class EsgTestbed:
         for "rm" faults (e.g. a replication campaign engine).
         """
         from repro.net.faults import FaultInjector
-        directories = {"mds": self.mds.directory,
-                       "catalog": (self.catalog_directory
-                                   or self.replica_catalog.directory)}
+        if self.federation is not None:
+            # "catalog" takes every shard down at once; "catalog:<site>"
+            # targets one shard, degrading queries to partial answers.
+            directories = {"mds": self.mds.directory,
+                           "catalog": self.federation}
+            for sname, shard in self.federation.sites.items():
+                directories[f"catalog:{sname}"] = shard.directory
+        else:
+            directories = {"mds": self.mds.directory,
+                           "catalog": (self.catalog_directory
+                                       if self.catalog_directory is not None
+                                       else self.replica_catalog.directory)}
         hrms = {site.hrm.name: site.hrm
                 for site in self.sites.values() if site.hrm is not None}
         return FaultInjector(self.env, self.network, self.dns,

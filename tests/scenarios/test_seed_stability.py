@@ -122,6 +122,88 @@ def tape_chaos_run(seed: int):
     return tb, ticket
 
 
+def federated_chaos_run(seed: int):
+    """A federated-catalog chaos run: sharded catalog with a slow sync
+    and a stale-prone client cache, shard outage windows drawn from the
+    seeded chaos stream, and deterministically doctored stale entries
+    (replicas deleted behind the catalog's back) so verify-on-open
+    demotion and re-selection fire mid-run."""
+    resilience = ResiliencePolicy(
+        retry=RetryPolicy(max_rounds=2, base_delay=10.0, multiplier=2.0,
+                          max_delay=30.0, jitter=0.25),
+        breaker_failure_threshold=2, file_deadline=200.0)
+    tb = EsgTestbed(seed=seed, with_tape=False,
+                    file_size_override=8 * MB, resilience=resilience,
+                    scheduler=SchedulerConfig(per_server_cap=2),
+                    catalog_sites=3, catalog_sync_interval=45.0,
+                    catalog_cache_ttl=120.0)
+    tb.warm_nws(60.0)
+    rng = tb.env.rng.stream("chaos.schedule")
+    shards = sorted(tb.federation.sites)
+    sched = FaultSchedule()
+    for _ in range(2):
+        shard = shards[int(rng.integers(len(shards)))]
+        sched.catalog_outage(float(rng.uniform(5.0, 60.0)),
+                             float(rng.uniform(30.0, 90.0)),
+                             site=shard,
+                             description=f"{shard} catalog shard down")
+    tb.fault_injector().install(sched)
+    ds = tb.dataset_ids()[0]
+    # Deterministically ordered request list (sorted by logical name —
+    # the DN ordering of the per-file lifelines).
+    names = sorted(str(f["logical_name"]) for f in tb.datasets[ds][:4])
+    # Warm the client cache so selection acts on cached entries...
+    for name in names:
+        tb.run_process(tb.federation.find_replicas(ds, name))
+    # ...then doctor staleness behind the catalog's back: two files
+    # (chaos-stream choice) lose every fast replica on disk, leaving
+    # only a slow-WAN survivor — the RM must demote and re-select.
+    slow = {"ncar", "isi", "sdsc", "llnl"}
+    for index in sorted({int(rng.integers(len(names)))
+                         for _ in range(2)}):
+        name = names[index]
+        holders = [loc.name
+                   for loc in tb.federation.locations(ds)
+                   if loc.holds(name)]
+        survivor = next(h for h in holders if h in slow)
+        for site_name in holders:
+            if site_name != survivor:
+                tb.sites[site_name].fs.delete(name)
+    ticket = tb.request_manager.submit([(ds, n) for n in names])
+    tb.env.run(until=tb.env.now + 500.0)
+    return tb, ticket
+
+
+def test_same_seed_identical_federated_chaos_lifelines():
+    """The federated catalog (sharded fan-out, async replication,
+    stale cache, demotion) joins the determinism contract: chaos runs
+    over it must replay bit-for-bit."""
+    tb_a, ticket_a = federated_chaos_run(seed=41)
+    tb_b, ticket_b = federated_chaos_run(seed=41)
+    seq_a, seq_b = ulm_sequence(tb_a), ulm_sequence(tb_b)
+    assert len(seq_a) > 50
+    assert seq_a == seq_b
+    assert [(f.logical_file, f.state, f.bytes_done, f.finished_at)
+            for f in ticket_a.files] == \
+        [(f.logical_file, f.state, f.bytes_done, f.finished_at)
+         for f in ticket_b.files]
+    assert all(f.state in _TERMINAL for f in ticket_a.files)
+    # The run really exercised the federation: fan-out queries and the
+    # demote/re-select loop are on the lifeline, identically.
+    events_a = [r.event for r in tb_a.logger.records]
+    assert "catalog.federated_query" in events_a
+    assert "catalog.demote" in events_a
+    stats_a, stats_b = tb_a.federation.stats(), tb_b.federation.stats()
+    assert stats_a == stats_b
+    assert stats_a["demotes"] > 0
+
+
+def test_federated_chaos_different_seed_diverges():
+    tb_a, _ = federated_chaos_run(seed=41)
+    tb_b, _ = federated_chaos_run(seed=42)
+    assert ulm_sequence(tb_a) != ulm_sequence(tb_b)
+
+
 def test_same_seed_identical_tape_chaos_lifelines():
     """The staging pipeline (batch tape scheduler, cut-through, prefetch)
     is part of the determinism contract too: a tape-heavy chaos run must
