@@ -86,21 +86,38 @@ def _cmd_figure8(args) -> int:
 def _cmd_portal(args) -> int:
     from repro.cdat import render_field
     from repro.scenarios import EsgTestbed
-    tb = EsgTestbed(seed=args.seed, materialize=True)
+    tb = EsgTestbed(seed=args.seed, materialize=True,
+                    sdbf_chunks={"time": 1, "lat": 8, "lon": 16})
     tb.warm_nws(90.0)
 
-    def flow():
-        return (yield from tb.portal.request(
-            "pcmdi.ncar_csm.run1", args.variable,
-            operation="time_mean", months=(1, 1)))
+    if args.series:
+        # Aggregation view: one request fans across the dataset's whole
+        # file series at the best replicas; the user never sees files.
+        def flow():
+            series = yield from tb.portal.open_series(
+                "pcmdi.ncar_csm.run1")
+            return (yield from series.fetch(args.variable,
+                                            operation="subset"))
 
-    resp = tb.run_process(flow())
-    print(render_field(resp.dataset[args.variable].data,
-                       title=f"{args.variable}: server-side January mean",
-                       width=64, height=16))
-    print(f"shipped {resp.bytes_shipped / 1024:.1f} KB "
-          f"({resp.reduction:.1f}x less than the file) from "
-          f"{resp.source_hostname}")
+        resp = tb.run_process(flow())
+        field = resp.dataset[args.variable].data.mean(axis=0)
+        title = (f"{args.variable}: annual mean over "
+                 f"{resp.files}-file series")
+    else:
+        def flow():
+            return (yield from tb.portal.request(
+                "pcmdi.ncar_csm.run1", args.variable,
+                operation="time_mean", months=(1, 1)))
+
+        resp = tb.run_process(flow())
+        field = resp.dataset[args.variable].data
+        title = f"{args.variable}: server-side January mean"
+    print(render_field(field, title=title, width=64, height=16))
+    print(f"moved {resp.bytes_shipped / 1024:.1f} KB of "
+          f"{resp.full_bytes / 1024:.1f} KB "
+          f"({resp.reduction:.1f}x less than a full download); "
+          f"servers decoded {resp.server_decoded_bytes / 1024:.1f} KB, "
+          f"{resp.cache_hits} cache hits; from {resp.source_hostname}")
     return 0
 
 
@@ -362,6 +379,9 @@ def build_parser() -> argparse.ArgumentParser:
     f8.add_argument("--hours", type=float, default=2.0)
     pt = sub.add_parser("portal", help="ESG-II server-side request")
     pt.add_argument("variable", choices=["tas", "pr", "clt"])
+    pt.add_argument("--series", action="store_true",
+                    help="fan one request across the dataset's whole "
+                         "file series (aggregation view)")
     tr = sub.add_parser("trace",
                         help="per-file lifelines of a demo fetch")
     tr.add_argument("--spans", action="store_true",

@@ -19,7 +19,14 @@ provides:
 """
 
 from repro.data.variables import Dataset, DataError, Variable
-from repro.data.ncformat import FormatError, decode, decode_header, encode
+from repro.data.ncformat import (
+    CHUNKED_VERSION,
+    FormatError,
+    SdbfReader,
+    decode,
+    decode_header,
+    encode,
+)
 from repro.data.grids import GridSpec
 from repro.data.digest import (
     add_mark,
@@ -35,11 +42,13 @@ from repro.data.synth import (
 )
 
 __all__ = [
+    "CHUNKED_VERSION",
     "ClimateModelRun",
     "DataError",
     "Dataset",
     "FormatError",
     "GridSpec",
+    "SdbfReader",
     "SyntheticArchive",
     "Variable",
     "add_mark",

@@ -122,10 +122,15 @@ class ClimateModelRun:
         return ds
 
     def encode_year(self, year: int,
-                    variables: Tuple[str, ...] = ("tas", "pr", "clt")
-                    ) -> bytes:
-        """One year of output as SDBF bytes."""
-        return encode(self.generate_year(year, variables))
+                    variables: Tuple[str, ...] = ("tas", "pr", "clt"),
+                    chunks=None) -> bytes:
+        """One year of output as SDBF bytes.
+
+        ``chunks`` (dim name → chunk length, or one int) selects the
+        chunked SDBF layout so servers can serve subsets by decoding
+        only the touched chunks.
+        """
+        return encode(self.generate_year(year, variables), chunks=chunks)
 
     def generate_months(self, year: int, month_lo: int, month_hi: int,
                         variables: Tuple[str, ...] = ("tas", "pr", "clt")
@@ -153,11 +158,12 @@ class ClimateModelRun:
         return sliced
 
     def encode_months(self, year: int, month_lo: int, month_hi: int,
-                      variables: Tuple[str, ...] = ("tas", "pr", "clt")
-                      ) -> bytes:
-        """One monthly-range file as SDBF bytes."""
+                      variables: Tuple[str, ...] = ("tas", "pr", "clt"),
+                      chunks=None) -> bytes:
+        """One monthly-range file as SDBF bytes (``chunks`` as in
+        :meth:`encode_year`)."""
         return encode(self.generate_months(year, month_lo, month_hi,
-                                           variables))
+                                           variables), chunks=chunks)
 
 
 def monthly_files(run: ClimateModelRun, years: int,

@@ -33,6 +33,7 @@ from repro.gridftp.protocol import (
     TransferStats,
 )
 from repro.gridftp.channels import DataChannelCache
+from repro.gridftp.derived_cache import DerivedProductCache
 from repro.gridftp.server import GridFtpServer
 from repro.gridftp.client import ClientSession, GridFtpClient, TransferHandle
 from repro.gridftp.striped import StripedServer, StripedTransferResult
@@ -45,6 +46,7 @@ from repro.gridftp.restart import (
 __all__ = [
     "ClientSession",
     "DataChannelCache",
+    "DerivedProductCache",
     "FtpReply",
     "GridFtpClient",
     "GridFtpConfig",

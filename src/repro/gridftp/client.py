@@ -64,6 +64,20 @@ class TransferHandle:
         # the path. A non-empty list means the delivered file is bad.
         self.taints: List[str] = []
 
+    def begin_attempt(self, total: float) -> None:
+        """Reset per-attempt progress for a new get/put on this handle.
+
+        A reused handle (retry after a failed attempt) must not carry
+        the previous attempt's delivered bytes or in-flight taints
+        forward: the new attempt re-sends from scratch, so stale
+        ``_completed`` would double-count bytes in the scheduler's
+        grant accounting and stale taints would condemn a clean copy.
+        """
+        self.total = total
+        self._completed = 0.0
+        self._active_flows = []
+        self.taints = []
+
     def bytes_done(self) -> float:
         """Bytes delivered so far (live flows included)."""
         live = sum(f.progress() for f in self._active_flows if f.active)
@@ -160,12 +174,16 @@ class ClientSession:
         # non-None cap means the file is still growing on the staging
         # disk and the transfer must not outrun the tape readahead.
         rate_cap = self.server.claim_retrieve_rate_cap(path)
+        eret_info = self.server.claim_retrieve_eret_info(path)
         stats = TransferStats(path=path, requested_bytes=nbytes,
                               started_at=env.now, streams=cfg.parallelism)
+        if eret_info is not None:
+            stats.eret_decoded_bytes = eret_info["decoded"]
+            stats.eret_cache_hit = eret_info["cache"]
         if handle is None:
             handle = TransferHandle(env, path, nbytes)
         else:
-            handle.total = nbytes
+            handle.begin_attempt(nbytes)
         handle.cutthrough = rate_cap is not None
         src = self.server.data_node
         dst = dest_host.store_node
@@ -334,7 +352,7 @@ class ClientSession:
         if handle is None:
             handle = TransferHandle(self.env, path, file.size)
         else:
-            handle.total = file.size
+            handle.begin_attempt(file.size)
         yield from self._pump_blocks(path, src, dst, file.size, cfg,
                                      stats, handle, record)
         yield from self._command()

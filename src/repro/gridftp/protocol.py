@@ -200,6 +200,11 @@ class TransferStats:
     # RestartMarkers recorded by the block pump (byte ranges delivered);
     # None for transfers that never entered the pump.
     restart_markers: Optional[object] = None
+    # Source bytes the server's ERET plug-in decoded to produce this
+    # product (0 for plain transfers and derived-cache hits).
+    eret_decoded_bytes: float = 0.0
+    # True when the product came from the server's derived-product cache.
+    eret_cache_hit: bool = False
     # Closed per-flow RateSeries (one per block actually moved); aggregate
     # with repro.net.aggregate_series for the wire-bandwidth timeline.
     series: list = field(default_factory=list)

@@ -164,6 +164,16 @@ class MetadataCatalog:
                                         "(objectclass=datafile)")
         return self.resolve(dataset_id, variable, years, months)
 
+    def query_dataset(self, dataset_id: str):
+        """Simulation process: one dataset's summary with LDAP costs."""
+        dn = self._dataset_dn(dataset_id)
+        yield from self.directory.query(dn, Scope.ONELEVEL,
+                                        "(objectclass=*)")
+        for record in self.datasets():
+            if record.dataset_id == dataset_id:
+                return record
+        raise MetadataError(f"no dataset {dataset_id!r}")
+
     def file_size(self, dataset_id: str, logical_name: str) -> float:
         """Registered size of one logical file."""
         dn = self._dataset_dn(dataset_id).child("file", logical_name)

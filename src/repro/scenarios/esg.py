@@ -168,6 +168,16 @@ class EsgTestbed:
         carrying this many flows aggregate further same-path transfers
         into one fluid class. ``None`` (default) keeps every transfer
         exact.
+    sdbf_chunks:
+        When set (with ``materialize=True``), encode the archive's
+        files in the chunked SDBF layout — dim name → chunk length, or
+        one int for every dim — so ERET subsets decode only the
+        touched chunks.
+    derived_cache_bytes:
+        Per-server derived-product cache budget (0 disables).
+    eret_range_staging:
+        Whether tape-resident ERET requests start once the needed byte
+        prefix is staged (see :class:`~repro.gridftp.server.GridFtpServer`).
     """
 
     def __init__(self, seed: int = 0, years: int = 1,
@@ -190,7 +200,10 @@ class EsgTestbed:
                  hrm_prefetch: bool = True,
                  tape_drives: int = 2,
                  kernel_queue: str = "calendar",
-                 aggregation_threshold: Optional[int] = None):
+                 aggregation_threshold: Optional[int] = None,
+                 sdbf_chunks=None,
+                 derived_cache_bytes: float = 64 * 2**20,
+                 eret_range_staging: bool = True):
         self.env = Environment(seed=seed, queue=kernel_queue)
         env = self.env
         self.grid = grid or GridSpec(nlat=32, nlon=64, months=12)
@@ -248,7 +261,9 @@ class EsgTestbed:
                                    credential_chain=server_id.chain,
                                    hrm=hrm, hostname=hostname,
                                    obs=self.obs,
-                                   max_connections=max_server_connections)
+                                   max_connections=max_server_connections,
+                                   derived_cache_bytes=derived_cache_bytes,
+                                   eret_range_staging=eret_range_staging)
             install_standard_plugins(server)
             self.registry[hostname] = server
             self.sites[name] = EsgSite(name, hostname, host, server, fs,
@@ -339,7 +354,10 @@ class EsgTestbed:
         # -- content + monitoring
         if materialize and file_size_override is not None:
             raise ValueError("materialize and file_size_override conflict")
+        if sdbf_chunks is not None and not materialize:
+            raise ValueError("sdbf_chunks requires materialize=True")
         self.materialize = materialize
+        self.sdbf_chunks = sdbf_chunks
         self.file_size_override = file_size_override
         self._populate(years)
         for site in self.sites.values():
@@ -366,7 +384,8 @@ class EsgTestbed:
                 for f in files:
                     m0, m1 = f["month_range"]
                     blob = run.encode_months(int(f["year"]), m0, m1,
-                                             tuple(f["variables"]))
+                                             tuple(f["variables"]),
+                                             chunks=self.sdbf_chunks)
                     f["content"] = blob
                     f["size"] = float(len(blob))
             self.datasets[run.dataset_id] = files

@@ -56,7 +56,7 @@ def test_portal_command(capsys):
     assert main(["--seed", "4", "portal", "tas"]) == 0
     out = capsys.readouterr().out
     assert "server-side January mean" in out
-    assert "less than the file" in out
+    assert "less than a full download" in out
 
 
 def test_trace_command(capsys):

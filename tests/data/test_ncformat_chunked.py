@@ -1,0 +1,123 @@
+"""Tests for the chunked SDBF layout and the partial reader."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CHUNKED_VERSION,
+    ClimateModelRun,
+    FormatError,
+    GridSpec,
+    SdbfReader,
+    decode,
+    decode_header,
+    encode,
+)
+from repro.data.variables import Dataset, Variable
+
+
+def small_dataset(seed=3):
+    run = ClimateModelRun(grid=GridSpec(16, 32, 12), seed=seed)
+    return run.generate_year(1995)
+
+
+def test_chunked_header_and_roundtrip():
+    ds = small_dataset()
+    flat = encode(ds)
+    chunked = encode(ds, chunks={"time": 1, "lat": 8, "lon": 16})
+    assert SdbfReader(chunked).version == CHUNKED_VERSION
+    assert SdbfReader(flat).version != CHUNKED_VERSION
+    header = decode_header(chunked)
+    for name in ds.variables:
+        meta = header["variables"][name]
+        assert meta["chunks"] == [1, 8, 16]
+        # chunk grid: 12 * 2 * 2 = 48 extents
+        assert len(meta["chunk_index"]) == 48
+    # Whole-file decode is layout-independent.
+    a, b = decode(flat), decode(chunked)
+    assert a.name == b.name and a.attrs == b.attrs
+    for name in a.variables:
+        np.testing.assert_array_equal(a[name].data, b[name].data)
+    for dim in a.coords:
+        np.testing.assert_array_equal(a.coords[dim], b.coords[dim])
+
+
+def test_chunks_as_single_int():
+    ds = small_dataset()
+    blob = encode(ds, chunks=4)
+    header = decode_header(blob)
+    assert header["variables"]["tas"]["chunks"] == [4, 4, 4]
+    np.testing.assert_array_equal(decode(blob)["tas"].data,
+                                  ds["tas"].data)
+
+
+def test_read_slab_decodes_only_touched_chunks():
+    ds = small_dataset()
+    blob = encode(ds, chunks={"time": 1, "lat": 8, "lon": 16})
+    reader = SdbfReader(blob)
+    bounds = [(0, 2), (4, 11), (0, 15)]   # 3 time chunks x 1 lat x 1 lon
+    slab = reader.read_slab("tas", bounds)
+    expect = ds["tas"].data[0:3, 4:12, 0:16]
+    np.testing.assert_array_equal(slab, expect)
+    assert slab.flags["C_CONTIGUOUS"]
+    touched = reader.touched_chunk_bytes("tas", bounds)
+    full = ds["tas"].data.nbytes
+    assert reader.bytes_decoded == touched < full
+
+
+def test_flat_reader_falls_back_to_whole_variable():
+    ds = small_dataset()
+    reader = SdbfReader(encode(ds))
+    assert not reader.is_chunked
+    slab = reader.read_slab("tas", [(0, 0), (0, 3), (0, 3)])
+    np.testing.assert_array_equal(slab, ds["tas"].data[:1, :4, :4])
+    # Flat layout cannot decode partially.
+    assert reader.bytes_decoded == ds["tas"].data.nbytes
+    assert reader.needed_prefix("tas", [(0, 0), (0, 3), (0, 3)]) is None
+
+
+def test_needed_prefix_suffices_for_the_slab():
+    """A buffer truncated to needed_prefix still serves the request —
+    the property ERET range staging relies on."""
+    ds = small_dataset()
+    blob = encode(ds, chunks={"time": 2, "lat": 8, "lon": 16})
+    reader = SdbfReader(blob)
+    bounds = [(0, 1), (0, 7), (0, 15)]
+    prefix = reader.needed_prefix("tas", bounds)
+    assert prefix is not None and prefix <= len(blob)
+    truncated = SdbfReader(bytes(blob[:int(prefix)]))
+    np.testing.assert_array_equal(truncated.read_slab("tas", bounds),
+                                  reader.read_slab("tas", bounds))
+
+
+def test_reader_errors_are_clean():
+    ds = small_dataset()
+    reader = SdbfReader(encode(ds, chunks=4))
+    with pytest.raises(FormatError):
+        reader.variable_meta("ghost")
+    with pytest.raises(FormatError):
+        reader.coord("ghost")
+    with pytest.raises(FormatError):
+        SdbfReader(b"not an sdbf blob")
+
+
+def test_chunk_sizes_larger_than_dims_are_clamped():
+    ds = Dataset("tiny")
+    ds.add_coord("x", np.arange(3.0))
+    ds.add_variable(Variable("v", ("x",), np.array([1.0, 2.0, 3.0])))
+    blob = encode(ds, chunks={"x": 100})
+    header = decode_header(blob)
+    assert header["variables"]["v"]["chunks"] == [3]
+    np.testing.assert_array_equal(decode(blob)["v"].data, ds["v"].data)
+
+
+def test_coords_decode_from_short_prefix():
+    """Coordinates are laid out before variable payloads so any reader
+    can map ranges to chunks without touching the data."""
+    ds = small_dataset()
+    blob = encode(ds, chunks=4)
+    reader = SdbfReader(blob)
+    for dim in ("time", "lat", "lon"):
+        np.testing.assert_array_equal(reader.coord(dim), ds.coords[dim])
+    coord_bytes = sum(ds.coords[d].nbytes for d in ds.coords)
+    assert reader.bytes_decoded == coord_bytes

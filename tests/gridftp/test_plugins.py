@@ -23,11 +23,12 @@ def sdbf_file(name="year.nc"):
 
 def test_subset_plugin_reduces_and_preserves_values():
     file, run = sdbf_file()
-    size, blob = subset_plugin(file, {"variable": "tas",
-                                      "lat": (-30.0, 30.0),
-                                      "time": (0.0, 0.2)})
+    size, blob, decoded = subset_plugin(file, {"variable": "tas",
+                                               "lat": (-30.0, 30.0),
+                                               "time": (0.0, 0.2)})
     assert size == len(blob)
     assert size < file.size / 4
+    assert decoded == file.size  # flat layout decodes the whole file
     sub = decode(blob)
     full = run.generate_year(1995)
     lat = full.coords["lat"]
@@ -51,7 +52,7 @@ def test_subset_plugin_validation():
 
 def test_extract_variable_plugin():
     file, _ = sdbf_file()
-    size, blob = extract_variable_plugin(file, {"variable": "pr"})
+    size, blob, _ = extract_variable_plugin(file, {"variable": "pr"})
     ds = decode(blob)
     assert set(ds.variables) == {"pr"}
     assert size < file.size / 2  # dropped 2 of 3 variables
@@ -63,7 +64,7 @@ def test_extract_variable_plugin():
 
 def test_time_mean_plugin_reduces_by_months():
     file, run = sdbf_file()
-    size, blob = time_mean_plugin(file, {"variable": "tas"})
+    size, blob, _ = time_mean_plugin(file, {"variable": "tas"})
     ds = decode(blob)
     assert ds["tas"].dims == ("lat", "lon")
     full = run.generate_year(1995)
@@ -88,13 +89,14 @@ def test_time_mean_plugin_requires_time_axis():
 
 def test_checksum_plugin_tiny_and_stable():
     file, _ = sdbf_file()
-    size, blob = checksum_plugin(file, {})
-    assert size == 64  # hex sha256
-    size2, blob2 = checksum_plugin(file, {})
+    size, blob, decoded = checksum_plugin(file, {})
+    assert size == 16  # hex blake2s, same digest the catalogs record
+    assert decoded == file.size  # whole-file scan, like CKSM
+    size2, blob2, _ = checksum_plugin(file, {})
     assert blob == blob2
     # Size-only files get a name/size digest.
-    s3, b3 = checksum_plugin(FileObject("big", 1e9), {})
-    assert s3 == 64
+    s3, b3, _ = checksum_plugin(FileObject("big", 1e9), {})
+    assert s3 == 16
 
 
 def test_install_standard_plugins(grid):

@@ -1,0 +1,100 @@
+"""Directed edge cases for subsetting through the ERET plugin path.
+
+Every malformed or degenerate selection must surface as a clean
+:class:`PluginError` — never a numpy traceback — on both SDBF layouts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import ClimateModelRun, GridSpec, decode
+from repro.gridftp.plugins import PluginError, subset_plugin
+from repro.storage import FileObject
+
+
+def files_both_layouts(seed=5):
+    run = ClimateModelRun(grid=GridSpec(16, 32, 12), seed=seed)
+    flat = run.encode_year(1995)
+    chunked = run.encode_year(1995, chunks={"time": 2, "lat": 8,
+                                            "lon": 16})
+    return [FileObject("flat.nc", len(flat), content=flat),
+            FileObject("chunked.nc", len(chunked), content=chunked)], run
+
+
+@pytest.mark.parametrize("layout", [0, 1], ids=["flat", "chunked"])
+def test_empty_intersection_is_clean(layout):
+    files, _ = files_both_layouts()
+    with pytest.raises(PluginError, match="selects nothing"):
+        subset_plugin(files[layout], {"variable": "tas",
+                                      "lat": (200.0, 300.0)})
+
+
+@pytest.mark.parametrize("layout", [0, 1], ids=["flat", "chunked"])
+def test_reversed_bounds_are_clean(layout):
+    files, _ = files_both_layouts()
+    with pytest.raises(PluginError, match="empty range"):
+        subset_plugin(files[layout], {"variable": "tas",
+                                      "lat": (30.0, -30.0)})
+
+
+@pytest.mark.parametrize("layout", [0, 1], ids=["flat", "chunked"])
+def test_unknown_dim_is_clean(layout):
+    files, _ = files_both_layouts()
+    with pytest.raises(PluginError):
+        subset_plugin(files[layout], {"variable": "tas",
+                                      "depth": (0.0, 10.0)})
+
+
+@pytest.mark.parametrize("layout", [0, 1], ids=["flat", "chunked"])
+def test_single_point_range(layout):
+    files, run = files_both_layouts()
+    full = run.generate_year(1995)
+    lat0 = float(full.coords["lat"][3])
+    _, blob, _ = subset_plugin(files[layout],
+                               {"variable": "tas", "lat": (lat0, lat0)})
+    sub = decode(blob)
+    assert sub["tas"].shape[1] == 1
+    np.testing.assert_array_equal(sub["tas"].data[:, 0, :],
+                                  full["tas"].data[:, 3, :])
+
+
+@pytest.mark.parametrize("layout", [0, 1], ids=["flat", "chunked"])
+def test_full_dim_range_equals_no_range(layout):
+    files, _ = files_both_layouts()
+    _, everything, _ = subset_plugin(files[layout], {"variable": "tas"})
+    _, explicit, _ = subset_plugin(files[layout],
+                                   {"variable": "tas",
+                                    "lat": (-1000.0, 1000.0)})
+    a, b = decode(everything), decode(explicit)
+    np.testing.assert_array_equal(a["tas"].data, b["tas"].data)
+
+
+def test_edge_errors_end_to_end_keep_pins_balanced(grid):
+    """A failing plugin after a stage must not leak the stage pin."""
+    from repro.gridftp.plugins import install_standard_plugins
+    from repro.storage import (
+        HierarchicalResourceManager,
+        MassStorageSystem,
+    )
+    install_standard_plugins(grid.server)
+    files, _ = files_both_layouts()
+    mss = MassStorageSystem(grid.env, cache_capacity=2**30, drives=1)
+    grid.server.hrm = HierarchicalResourceManager(grid.env, mss,
+                                                  grid.server_fs)
+    mss.archive(files[1], tape="T1", position=0.0)
+
+    def main():
+        session = yield from grid.client.connect(grid.client_host,
+                                                 "srv.lbl.gov")
+        try:
+            yield from session.get(
+                "chunked.nc", grid.client_fs, grid.client_host,
+                eret="subset",
+                eret_args={"variable": "tas", "lat": (30.0, -30.0)})
+        except PluginError:
+            return "clean"
+        return "no error"
+
+    assert grid.run_process(main()) == "clean"
+    grid.env.run(until=grid.env.now + 300.0)  # let the stage finish
+    assert not mss.cache.is_pinned("chunked.nc")
